@@ -1,0 +1,41 @@
+# Development entry points for the telcochurn reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One benchmark per paper table/figure plus substrate micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/churnctl run all -customers 4000 -trees 150 -repeats 2
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/warehouse_etl
+	$(GO) run ./examples/volume_study
+	$(GO) run ./examples/retention_campaign
+	$(GO) run ./examples/velocity_study
+	$(GO) run ./examples/root_cause
+
+clean:
+	rm -rf warehouse churn-model.bin

@@ -1,0 +1,245 @@
+// Package telcochurn's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (one Benchmark per artifact — run with
+// `go test -bench=. -benchmem`) and micro-benchmarks the substrates the
+// pipeline is built on (table engine, store, graph algorithms, LDA, random
+// forest).
+//
+// The experiment benchmarks print their paper-style table once per run via
+// b.Logf-free stdout so `-bench` output doubles as the reproduction record;
+// absolute numbers are population-scaled (see DESIGN.md §2), the shape is
+// what reproduces.
+package telcochurn
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/dataset"
+	"telcochurn/internal/experiments"
+	"telcochurn/internal/features"
+	"telcochurn/internal/graph"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+	"telcochurn/internal/topic"
+	"telcochurn/internal/tree"
+)
+
+// benchOpts keeps each experiment benchmark to a few seconds per iteration
+// while preserving the qualitative shape.
+func benchOpts() experiments.Options {
+	return experiments.Options{Customers: 1500, Seed: 3, Trees: 60, MinLeaf: 15, Repeats: 1}
+}
+
+var (
+	printedMu sync.Mutex
+	printed   = map[string]bool{}
+)
+
+// runExperiment executes an experiment id once per b.N iteration, printing
+// its table the first time.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		printedMu.Lock()
+		if !printed[id] {
+			printed[id] = true
+			var sb strings.Builder
+			res.Render(&sb)
+			fmt.Fprintf(os.Stderr, "\n%s\n", sb.String())
+		}
+		printedMu.Unlock()
+	}
+}
+
+// ---- one benchmark per paper table/figure ----
+
+func BenchmarkFig1ChurnRates(b *testing.B)     { runExperiment(b, "fig1") }
+func BenchmarkTab1DatasetStats(b *testing.B)   { runExperiment(b, "tab1") }
+func BenchmarkFig5RechargePeriod(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig7Volume(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkTab2Variety(b *testing.B)        { runExperiment(b, "tab2") }
+func BenchmarkTab3Overall(b *testing.B)        { runExperiment(b, "tab3") }
+func BenchmarkTab4Importance(b *testing.B)     { runExperiment(b, "tab4") }
+func BenchmarkTab5Velocity(b *testing.B)       { runExperiment(b, "tab5") }
+func BenchmarkTab6BusinessValue(b *testing.B)  { runExperiment(b, "tab6") }
+func BenchmarkTab7Imbalance(b *testing.B)      { runExperiment(b, "tab7") }
+func BenchmarkFig8EarlySignals(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9Classifiers(b *testing.B)    { runExperiment(b, "fig9") }
+
+// ---- substrate micro-benchmarks ----
+
+func benchWorld(b *testing.B) []*synth.MonthData {
+	b.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 1500
+	cfg.Months = 4
+	return synth.Simulate(cfg)
+}
+
+func BenchmarkSimulateMonth(b *testing.B) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 2000
+	w := synth.NewWorld(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.SimulateMonth()
+	}
+}
+
+func BenchmarkTableGroupBy(b *testing.B) {
+	months := benchWorld(b)
+	calls := months[0].Calls
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.GroupBy(calls, "imsi",
+			table.Agg{Col: "dur", Func: table.Sum, As: "dur"},
+			table.Agg{Func: table.Count, As: "cnt"},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableHashJoin(b *testing.B) {
+	months := benchWorld(b)
+	billing := months[0].Billing
+	customers := months[0].Customers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.HashJoin(billing, customers, "imsi", table.InnerJoin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreWriteRead(b *testing.B) {
+	months := benchWorld(b)
+	wh, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	calls := months[0].Calls
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wh.WritePartition("calls", 1, calls); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wh.ReadPartition("calls", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWideTableBuild(b *testing.B) {
+	months := benchWorld(b)
+	tbl, err := features.FromMonthData(months[:1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := features.MonthWindow(1, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.BaseFeatures(tbl, win, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	months := benchWorld(b)
+	tbl, _ := features.FromMonthData(months[:1])
+	g := features.BuildCallGraph(tbl, features.MonthWindow(1, 30), 30, synth.IsCustomerID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PageRank(graph.PageRankOptions{})
+	}
+}
+
+func BenchmarkLabelPropagation(b *testing.B) {
+	months := benchWorld(b)
+	tbl, _ := features.FromMonthData(months[:1])
+	g := features.BuildCallGraph(tbl, features.MonthWindow(1, 30), 30, synth.IsCustomerID)
+	seeds := map[int64]int{}
+	for i, id := range g.IDs() {
+		if i%10 == 0 {
+			seeds[id] = i % 2
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.LabelPropagation(seeds, 2, graph.LabelPropOptions{})
+	}
+}
+
+func BenchmarkLDAFit(b *testing.B) {
+	months := benchWorld(b)
+	search := months[0].Search
+	imsi := search.MustCol("imsi").Ints
+	text := search.MustCol("text").Strings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := topic.NewCorpus()
+		for j := range imsi {
+			if j%4 == 0 {
+				c.AddDoc(imsi[j], text[j])
+			}
+		}
+		if _, err := topic.Fit(c, topic.Config{K: 10, Iters: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.New(make([]string, 40))
+	for j := range d.FeatureNames {
+		d.FeatureNames[j] = fmt.Sprintf("f%d", j)
+	}
+	for i := 0; i < 3000; i++ {
+		row := make([]float64, 40)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y := 0
+		if row[0]+row[1] > 0.5 {
+			y = 1
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.FitForest(d, tree.ForestConfig{NumTrees: 50, MinLeafSamples: 25, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestScore(b *testing.B) {
+	months := benchWorld(b)
+	src := core.NewMemorySource(months, 30)
+	p, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, 30)}, core.Config{
+		Forest: tree.ForestConfig{NumTrees: 60, MinLeafSamples: 15, Seed: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(src, features.MonthWindow(3, 30)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

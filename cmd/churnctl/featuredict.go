@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// cmdFeatures prints the wide-table feature dictionary — the repository's
+// equivalent of the paper's Figure 4, extended with the group (F1..F9) of
+// every column.
+func cmdFeatures(args []string) error {
+	fs := flag.NewFlagSet("features", flag.ExitOnError)
+	customers := fs.Int("customers", 600, "customers in the throwaway world used to materialize the schema")
+	fs.Parse(args)
+
+	cfg := synth.DefaultConfig()
+	cfg.Customers = *customers
+	cfg.Months = 4
+	months := synth.Simulate(cfg)
+	src := core.NewMemorySource(months, cfg.DaysPerMonth)
+
+	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, cfg.DaysPerMonth)}, core.Config{
+		Groups: features.AllGroups(),
+		Forest: tree.ForestConfig{NumTrees: 5, MinLeafSamples: 10, Seed: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		return err
+	}
+	frame, err := pipe.BuildFrame(src, features.MonthWindow(3, cfg.DaysPerMonth), false, nil)
+	if err != nil {
+		return err
+	}
+	names := frame.Names()
+	groups := frame.Groups()
+	counts := map[features.Group]int{}
+	fmt.Printf("wide table: %d features\n\n", len(names))
+	fmt.Println("  #  group  feature")
+	for i, name := range names {
+		fmt.Printf("%3d  %-5v  %s\n", i+1, groups[i], name)
+		counts[groups[i]]++
+	}
+	fmt.Println()
+	for _, g := range features.AllGroups() {
+		fmt.Printf("%v: %d features\n", g, counts[g])
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wh")
+	if err := cmdGenerate([]string{"-out", dir, "-customers", "400", "-months", "2"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Errorf("warehouse has %d tables, want 10", len(entries))
+	}
+	if err := cmdInspect([]string{"-warehouse", dir}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenerateDailyMatchesMonthly(t *testing.T) {
+	dir := t.TempDir()
+	monthly := filepath.Join(dir, "monthly")
+	daily := filepath.Join(dir, "daily")
+	if err := cmdGenerate([]string{"-out", monthly, "-customers", "300", "-months", "2"}); err != nil {
+		t.Fatalf("monthly generate: %v", err)
+	}
+	if err := cmdGenerate([]string{"-out", daily, "-customers", "300", "-months", "2", "-daily"}); err != nil {
+		t.Fatalf("daily generate: %v", err)
+	}
+	// Same seed, same world: both paths must land identical row counts.
+	for _, whdir := range []string{monthly, daily} {
+		if err := cmdInspect([]string{"-warehouse", whdir}); err != nil {
+			t.Fatalf("inspect %s: %v", whdir, err)
+		}
+	}
+	mo, err := os.ReadDir(filepath.Join(monthly, "calls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadDir(filepath.Join(daily, "calls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mo) != len(da) {
+		t.Errorf("partition counts differ: %d vs %d", len(mo), len(da))
+	}
+}
+
+func TestRunCheapExperiment(t *testing.T) {
+	if err := cmdRun([]string{"tab1", "-customers", "500"}); err != nil {
+		t.Fatalf("run tab1: %v", err)
+	}
+}
+
+func TestTrainScoreWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh")
+	model := filepath.Join(dir, "model.bin")
+	if err := cmdGenerate([]string{"-out", wh, "-customers", "800", "-months", "4"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := cmdTrain([]string{"-warehouse", wh, "-out", model, "-trees", "30", "-groups", "F1,F2"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
+		t.Fatalf("model file missing: %v", err)
+	}
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5", "-groups", "F1,F2"}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	// Group mismatch must be rejected, not silently mis-scored.
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-groups", "F1"}); err == nil {
+		t.Error("want error for group/schema mismatch")
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	gs, err := parseGroups("F1, f3")
+	if err != nil || len(gs) != 2 {
+		t.Fatalf("parseGroups: %v %v", gs, err)
+	}
+	if _, err := parseGroups("F9"); err == nil {
+		t.Error("want error for non-persistable group")
+	}
+	if gs, _ := parseGroups("default"); len(gs) != 6 {
+		t.Errorf("default groups = %d, want 6", len(gs))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := cmdRun([]string{"nope", "-customers", "500"}); err == nil {
+		t.Error("want error for unknown experiment id")
+	}
+	if err := cmdRun(nil); err == nil {
+		t.Error("want error for missing experiment id")
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/eval"
+	"telcochurn/internal/features"
+	"telcochurn/internal/sampling"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// persistableGroups are the feature groups a saved model can be scored with:
+// they need no fitted feature models (LDA/FM), only raw tables and truth
+// labels, so a fresh process can rebuild identical frames.
+var persistableGroups = []features.Group{
+	features.F1Baseline, features.F2CS, features.F3PS,
+	features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph,
+}
+
+func parseGroups(spec string) ([]features.Group, error) {
+	if spec == "" || spec == "default" {
+		return persistableGroups, nil
+	}
+	byName := map[string]features.Group{}
+	for _, g := range persistableGroups {
+		byName[strings.ToLower(g.String())] = g
+	}
+	var out []features.Group
+	for _, tok := range strings.Split(spec, ",") {
+		g, ok := byName[strings.ToLower(strings.TrimSpace(tok))]
+		if !ok {
+			return nil, fmt.Errorf("unknown or non-persistable group %q (have F1..F6)", tok)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// cmdTrain fits the churn forest on a warehouse per Figure 6 and saves it.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	out := fs.String("out", "churn-model.bin", "model output path")
+	featureMonth := fs.Int("feature-month", 0, "newest training feature month (0 = auto: last-2)")
+	volume := fs.Int("volume", 1, "training months to accumulate")
+	trees := fs.Int("trees", 300, "forest size")
+	minLeaf := fs.Int("minleaf", 25, "minimum samples per leaf")
+	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F6)")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+
+	groups, err := parseGroups(*groupSpec)
+	if err != nil {
+		return err
+	}
+	wh, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	monthsAvail, err := wh.Months(synth.TableTruth)
+	if err != nil || len(monthsAvail) < 3 {
+		return fmt.Errorf("train: warehouse needs >= 3 months of data (have %v)", monthsAvail)
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	src := core.NewWarehouseSource(wh, days)
+
+	newest := *featureMonth
+	if newest == 0 {
+		newest = monthsAvail[len(monthsAvail)-1] - 2
+	}
+	var specs []core.WindowSpec
+	for m := newest - *volume + 1; m <= newest; m++ {
+		specs = append(specs, core.MonthSpec(m, days))
+	}
+
+	pipe, err := core.Fit(src, specs, core.Config{
+		Groups:    groups,
+		Forest:    tree.ForestConfig{NumTrees: *trees, MinLeafSamples: *minLeaf, Seed: *seed},
+		Imbalance: sampling.WeightedInstance,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rf, ok := pipe.Classifier().(*core.RFClassifier)
+	if !ok {
+		return fmt.Errorf("train: classifier is not a forest")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rf.Forest().WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on feature months %d..%d (%d features, %d trees), wrote %s (%d bytes)\n",
+		newest-*volume+1, newest, len(pipe.FeatureNames()), rf.Forest().NumTrees(), *out, n)
+	return nil
+}
+
+// cmdScore loads a saved model and produces the ranked churner list for a
+// warehouse month — the artifact the retention team receives.
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	model := fs.String("model", "churn-model.bin", "model path")
+	month := fs.Int("month", 0, "feature month to score (0 = latest)")
+	top := fs.Int("top", 50, "list length")
+	groupSpec := fs.String("groups", "default", "feature groups the model was trained with")
+	fs.Parse(args)
+
+	groups, err := parseGroups(*groupSpec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	forest, err := tree.ReadForest(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	wh, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	monthsAvail, err := wh.Months(synth.TableTruth)
+	if err != nil || len(monthsAvail) == 0 {
+		return fmt.Errorf("score: empty warehouse")
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	src := core.NewWarehouseSource(wh, days)
+	m := *month
+	if m == 0 {
+		m = monthsAvail[len(monthsAvail)-1]
+	}
+
+	builder := core.NewFrameBuilder(core.Config{Groups: groups})
+	frame, err := builder.BuildFrame(src, features.MonthWindow(m, days), false, nil)
+	if err != nil {
+		return err
+	}
+	// The frame must line up with the model's training schema.
+	names := frame.Names()
+	want := forest.FeatureNames()
+	if len(names) != len(want) {
+		return fmt.Errorf("score: frame has %d features, model wants %d (check -groups)", len(names), len(want))
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			return fmt.Errorf("score: feature %d is %q, model wants %q", i, names[i], want[i])
+		}
+	}
+
+	var preds []eval.Prediction
+	for _, id := range frame.IDs() {
+		row, _ := frame.Row(id)
+		preds = append(preds, eval.Prediction{ID: id, Score: forest.Score(row)})
+	}
+	eval.ByScoreDesc(preds)
+	if *top > len(preds) {
+		*top = len(preds)
+	}
+	fmt.Printf("rank,imsi,score\n")
+	for i := 0; i < *top; i++ {
+		fmt.Printf("%d,%d,%.6f\n", i+1, preds[i].ID, preds[i].Score)
+	}
+	return nil
+}

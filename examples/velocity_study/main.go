@@ -1,0 +1,25 @@
+// Velocity study: Table 5 at example scale — does refreshing features and
+// classifiers every 5/10/20 days instead of monthly pay off?
+//
+//	go run ./examples/velocity_study
+package main
+
+import (
+	"log"
+	"os"
+
+	"telcochurn/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Tab5Velocity(experiments.Options{
+		Customers: 2500,
+		Trees:     100,
+		Repeats:   2,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,26 @@
+// Volume study: Figure 7 at example scale — how much does accumulating more
+// months of labeled training data improve churn prediction, and where do
+// returns diminish?
+//
+//	go run ./examples/volume_study
+package main
+
+import (
+	"log"
+	"os"
+
+	"telcochurn/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Fig7Volume(experiments.Options{
+		Customers: 2500,
+		Trees:     100,
+		Repeats:   1,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Render(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module telcochurn
+
+go 1.22

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"telcochurn/internal/dataset"
+	"telcochurn/internal/fm"
+	"telcochurn/internal/linear"
+	"telcochurn/internal/tree"
+)
+
+// Classifier is the pluggable scoring model of the pipeline. Fit trains on a
+// labeled dataset; ScoreAll returns churn likelihoods for feature rows.
+type Classifier interface {
+	Fit(d *dataset.Dataset) error
+	ScoreAll(x [][]float64) []float64
+	Name() string
+}
+
+// RFClassifier wraps the random forest — the paper's deployed choice.
+type RFClassifier struct {
+	Config tree.ForestConfig
+	forest *tree.Forest
+}
+
+// Fit implements Classifier.
+func (c *RFClassifier) Fit(d *dataset.Dataset) error {
+	f, err := tree.FitForest(d, c.Config)
+	if err != nil {
+		return err
+	}
+	c.forest = f
+	return nil
+}
+
+// ScoreAll implements Classifier.
+func (c *RFClassifier) ScoreAll(x [][]float64) []float64 { return c.forest.ScoreAll(x) }
+
+// Name implements Classifier.
+func (c *RFClassifier) Name() string { return "RF" }
+
+// Forest exposes the trained forest (for feature importance, Table 4).
+func (c *RFClassifier) Forest() *tree.Forest { return c.forest }
+
+// GBDTClassifier wraps gradient boosted decision trees.
+type GBDTClassifier struct {
+	Config tree.GBDTConfig
+	model  *tree.GBDT
+}
+
+// Fit implements Classifier.
+func (c *GBDTClassifier) Fit(d *dataset.Dataset) error {
+	m, err := tree.FitGBDT(d, c.Config)
+	if err != nil {
+		return err
+	}
+	c.model = m
+	return nil
+}
+
+// ScoreAll implements Classifier.
+func (c *GBDTClassifier) ScoreAll(x [][]float64) []float64 { return c.model.ScoreAll(x) }
+
+// Name implements Classifier.
+func (c *GBDTClassifier) Name() string { return "GBDT" }
+
+// LinearClassifier wraps L2 logistic regression (LIBLINEAR substitute) with
+// the paper's quantile binarization of continuous features.
+type LinearClassifier struct {
+	Config  linear.Config
+	Buckets int // quantile buckets per source feature (default 8)
+	bin     *linear.Binarizer
+	model   *linear.Model
+}
+
+// Fit implements Classifier.
+func (c *LinearClassifier) Fit(d *dataset.Dataset) error {
+	if c.Buckets == 0 {
+		c.Buckets = 8
+	}
+	c.bin = linear.FitBinarizer(d, c.Buckets)
+	m, err := linear.Fit(c.bin.Transform(d), c.Config)
+	if err != nil {
+		return err
+	}
+	c.model = m
+	return nil
+}
+
+// ScoreAll implements Classifier.
+func (c *LinearClassifier) ScoreAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = c.model.Score(c.bin.TransformRow(row))
+	}
+	return out
+}
+
+// Name implements Classifier.
+func (c *LinearClassifier) Name() string { return "LIBLINEAR" }
+
+// FMClassifier wraps a factorization machine (LIBFM substitute), also over
+// binarized features per Section 5.8.
+type FMClassifier struct {
+	Config  fm.Config
+	Buckets int
+	bin     *linear.Binarizer
+	model   *fm.Model
+}
+
+// Fit implements Classifier.
+func (c *FMClassifier) Fit(d *dataset.Dataset) error {
+	if c.Buckets == 0 {
+		c.Buckets = 8
+	}
+	c.bin = linear.FitBinarizer(d, c.Buckets)
+	m, err := fm.Fit(c.bin.Transform(d), c.Config)
+	if err != nil {
+		return err
+	}
+	c.model = m
+	return nil
+}
+
+// ScoreAll implements Classifier.
+func (c *FMClassifier) ScoreAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = c.model.Score(c.bin.TransformRow(row))
+	}
+	return out
+}
+
+// Name implements Classifier.
+func (c *FMClassifier) Name() string { return "LIBFM" }

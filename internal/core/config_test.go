@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"telcochurn/internal/sampling"
+	"telcochurn/internal/tree"
+)
+
+// TestImbalanceConfigNotSilentlyUpgraded is a regression test: NotBalanced
+// must stay NotBalanced through Config defaulting. An earlier enum layout
+// made sampling.NotBalanced the zero value, so "train without balancing"
+// silently became the WeightedInstance default and Table 7's first row
+// compared a method against itself.
+func TestImbalanceConfigNotSilentlyUpgraded(t *testing.T) {
+	cfg := Config{Imbalance: sampling.NotBalanced}.withDefaults()
+	if cfg.Imbalance != sampling.NotBalanced {
+		t.Fatalf("NotBalanced was upgraded to %v", cfg.Imbalance)
+	}
+	cfg = Config{}.withDefaults()
+	if cfg.Imbalance != sampling.WeightedInstance {
+		t.Fatalf("unset imbalance defaulted to %v, want WeightedInstance", cfg.Imbalance)
+	}
+}
+
+// TestImbalanceMethodsProduceDifferentModels: the four treatments must
+// actually reach the classifier (not collapse into one configuration).
+func TestImbalanceMethodsProduceDifferentModels(t *testing.T) {
+	months := testMonths(t)
+	src := NewMemorySource(months, 30)
+	days := src.DaysPerMonth()
+	scores := map[sampling.Method]float64{}
+	for _, m := range sampling.Methods() {
+		p, err := Fit(src, []WindowSpec{MonthSpec(3, days)}, Config{
+			Forest:    tree.ForestConfig{NumTrees: 15, MinLeafSamples: 20, Seed: 5},
+			Imbalance: m,
+			Seed:      5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		_, rep, err := p.Evaluate(src, MonthSpec(4, days), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[m] = rep.PRAUC
+	}
+	// NotBalanced and WeightedInstance must now differ: the weighted
+	// bootstrap resamples by weight, changing tree structure.
+	if scores[sampling.NotBalanced] == scores[sampling.WeightedInstance] {
+		t.Errorf("NotBalanced and WeightedInstance produced identical PR-AUC %.6f — weights not reaching the forest",
+			scores[sampling.NotBalanced])
+	}
+}

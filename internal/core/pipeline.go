@@ -1,0 +1,374 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"telcochurn/internal/dataset"
+	"telcochurn/internal/eval"
+	"telcochurn/internal/features"
+	"telcochurn/internal/fm"
+	"telcochurn/internal/sampling"
+	"telcochurn/internal/topic"
+	"telcochurn/internal/tree"
+)
+
+// Config parameterizes a churn-prediction pipeline run.
+type Config struct {
+	// Groups selects the feature groups to build (default: F1 only — the
+	// baseline configuration of Figures 7-9 and Tables 5/7).
+	Groups []features.Group
+	// Classifier scores customers; nil means the paper's random forest with
+	// its deployed defaults (overridable via Forest).
+	Classifier Classifier
+	// Forest configures the default RF classifier when Classifier is nil.
+	Forest tree.ForestConfig
+	// Imbalance is the class-imbalance treatment applied to the stacked
+	// training set (default WeightedInstance, the paper's Table 7 winner).
+	Imbalance sampling.Method
+	// TopicK is the LDA topic count for F7/F8 (paper: 10).
+	TopicK int
+	// SecondOrderPairs is the F9 feature count (paper: 20).
+	SecondOrderPairs int
+	// Seed drives sampling and model RNGs.
+	Seed int64
+	// StableSeedStride downsamples non-churner label-propagation seeds
+	// (default 10: every 10th known non-churner anchors class 0).
+	StableSeedStride int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Groups) == 0 {
+		c.Groups = []features.Group{features.F1Baseline}
+	}
+	if c.Imbalance == 0 {
+		c.Imbalance = sampling.WeightedInstance
+	}
+	if c.TopicK == 0 {
+		c.TopicK = 10
+	}
+	if c.SecondOrderPairs == 0 {
+		c.SecondOrderPairs = 20
+	}
+	if c.StableSeedStride == 0 {
+		c.StableSeedStride = 10
+	}
+	return c
+}
+
+func (c Config) hasGroup(g features.Group) bool {
+	for _, x := range c.Groups {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowSpec pairs a feature window with the month whose churn outcomes
+// label it (Figure 6: features month N-1, labels month N).
+type WindowSpec struct {
+	Features   features.Window
+	LabelMonth int
+	// SampleFrac optionally subsamples this window's labeled instances
+	// (0 or 1 = keep all). The Velocity experiment uses it to model update
+	// cadence: a system refreshed every c days has, on average, folded in
+	// only part of the freshest month's labels.
+	SampleFrac float64
+}
+
+// MonthSpec is the common whole-month case: features from featureMonth,
+// labels from featureMonth+1.
+func MonthSpec(featureMonth, daysPerMonth int) WindowSpec {
+	return WindowSpec{
+		Features:   features.MonthWindow(featureMonth, daysPerMonth),
+		LabelMonth: featureMonth + 1,
+	}
+}
+
+// NewFrameBuilder returns an unfitted pipeline usable only for BuildFrame,
+// for feature groups that need no fitted feature models (F1-F6: base
+// aggregates and graph features). Topic (F7/F8) and second-order (F9)
+// groups require Fit, which trains their LDA/FM models on the first
+// training window.
+func NewFrameBuilder(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults()}
+}
+
+// Pipeline is a fitted churn predictor.
+type Pipeline struct {
+	cfg        Config
+	clf        Classifier
+	complaints *features.TopicFeaturizer
+	search     *features.TopicFeaturizer
+	so         *features.SecondOrderSelector
+	featNames  []string
+}
+
+// Fit builds training frames for every spec, fits the feature models (LDA on
+// the first window's corpus, FM second-order selection on the first labeled
+// frame), stacks the labeled datasets, applies the imbalance treatment, and
+// trains the classifier.
+func Fit(src Source, train []WindowSpec, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if len(train) == 0 {
+		return nil, errors.New("core: no training windows")
+	}
+	p := &Pipeline{cfg: cfg}
+	if cfg.Classifier != nil {
+		p.clf = cfg.Classifier
+	} else {
+		fc := cfg.Forest
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed + 1
+		}
+		p.clf = &RFClassifier{Config: fc}
+	}
+
+	var stacked *dataset.Dataset
+	for i, spec := range train {
+		frame, labels, err := p.buildLabeledFrame(src, spec, i == 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: training window %d: %w", i, err)
+		}
+		d := frame.ToDataset(labels, -1)
+		d = dropUnlabeled(d)
+		if spec.SampleFrac > 0 && spec.SampleFrac < 1 {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31 + 500))
+			keep := rng.Perm(d.NumInstances())[:int(spec.SampleFrac*float64(d.NumInstances()))]
+			d = d.Subset(keep)
+		}
+		if d.NumInstances() == 0 {
+			return nil, fmt.Errorf("core: training window %d has no labeled rows", i)
+		}
+		if stacked == nil {
+			stacked = d
+		} else if err := stacked.Append(d); err != nil {
+			return nil, err
+		}
+	}
+	p.featNames = stacked.FeatureNames
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	balanced, err := sampling.Apply(stacked, cfg.Imbalance, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: imbalance treatment: %w", err)
+	}
+	if err := p.clf.Fit(balanced); err != nil {
+		return nil, fmt.Errorf("core: classifier fit: %w", err)
+	}
+	return p, nil
+}
+
+// dropUnlabeled removes rows whose label is negative (customers absent from
+// the label month, i.e. already gone).
+func dropUnlabeled(d *dataset.Dataset) *dataset.Dataset {
+	var keep []int
+	for i, y := range d.Y {
+		if y >= 0 {
+			keep = append(keep, i)
+		}
+	}
+	return d.Subset(keep)
+}
+
+// buildLabeledFrame builds the feature frame for a spec and its label map.
+func (p *Pipeline) buildLabeledFrame(src Source, spec WindowSpec, fitModels bool) (*features.Frame, map[int64]int, error) {
+	truth, err := src.Truth(spec.LabelMonth)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := LabelsOf(truth)
+	frame, err := p.BuildFrame(src, spec.Features, fitModels, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return frame, labels, nil
+}
+
+// BuildFrame assembles the wide table for a window with the configured
+// feature groups. When fitModels is true the window also fits the LDA topic
+// models and the FM second-order selector (trainLabels must then hold the
+// window's churn labels); otherwise the previously fitted models are
+// applied. trainLabels may be nil when fitModels is false.
+func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, trainLabels map[int64]int) (*features.Frame, error) {
+	days := src.DaysPerMonth()
+	tbl, err := src.Tables(win)
+	if err != nil {
+		return nil, err
+	}
+	base, err := features.BaseFeatures(tbl, win, days)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only requested base groups, in canonical order.
+	var keep []features.Group
+	for _, g := range []features.Group{features.F1Baseline, features.F2CS, features.F3PS} {
+		if p.cfg.hasGroup(g) {
+			keep = append(keep, g)
+		}
+	}
+	frame := base.SelectGroups(keep...)
+
+	wantGraph := p.cfg.hasGroup(features.F4CallGraph) || p.cfg.hasGroup(features.F5MessageGraph) || p.cfg.hasGroup(features.F6CooccurrenceGraph)
+	if wantGraph {
+		// Label-propagation seeds are "the churners in the previous month"
+		// (Section 4.1.2) — previous relative to the predicted month, i.e.
+		// the feature month itself. Its churn outcomes are known by the
+		// time the prediction for the next month is made, so this does not
+		// leak labels.
+		seedMonth := win.SnapshotMonth(days)
+		prevTruth, err := src.Truth(seedMonth)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph features need truth of month %d: %w", seedMonth, err)
+		}
+		in := features.GraphFeatureInput{
+			PrevChurners: features.ChurnersOf(prevTruth),
+			StableSample: features.StableOf(prevTruth, p.cfg.StableSeedStride),
+		}
+		// Graphs are built over the feature window itself — the paper's
+		// "accumulated mutual calling time ... in a fixed period (e.g., a
+		// month)". Extending the window back a month sounds tempting (a
+		// churner's final-month CDRs are sparse) but measurably dilutes
+		// label propagation with stale edges; see the abl-graphwin
+		// experiment.
+		full := frame
+		scratch := features.NewFrame(frame.IDs())
+		features.AddGraphFeatures(scratch, tbl, win, days, in)
+		// Copy over only the requested graph groups, preserving order.
+		for _, g := range []features.Group{features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph} {
+			if !p.cfg.hasGroup(g) {
+				continue
+			}
+			sub := scratch.SelectGroups(g)
+			if err := appendFrame(full, sub, g); err != nil {
+				return nil, err
+			}
+		}
+		frame = full
+	}
+
+	if p.cfg.hasGroup(features.F7ComplaintTopics) {
+		if fitModels || p.complaints == nil {
+			tfz, err := features.FitTopicFeaturizer(tbl.Complaints, win, days, features.F7ComplaintTopics, "complaint",
+				topic.Config{K: p.cfg.TopicK, Seed: p.cfg.Seed + 3})
+			if err != nil {
+				return nil, err
+			}
+			p.complaints = tfz
+		}
+		p.complaints.Apply(frame, tbl.Complaints, win, days)
+	}
+	if p.cfg.hasGroup(features.F8SearchTopics) {
+		if fitModels || p.search == nil {
+			tfz, err := features.FitTopicFeaturizer(tbl.Search, win, days, features.F8SearchTopics, "search",
+				topic.Config{K: p.cfg.TopicK, Seed: p.cfg.Seed + 5})
+			if err != nil {
+				return nil, err
+			}
+			p.search = tfz
+		}
+		p.search.Apply(frame, tbl.Search, win, days)
+	}
+
+	if p.cfg.hasGroup(features.F9SecondOrder) {
+		if fitModels || p.so == nil {
+			if trainLabels == nil {
+				return nil, errors.New("core: second-order selection needs training labels")
+			}
+			sel, err := features.FitSecondOrder(frame, trainLabels, features.SecondOrderConfig{
+				NumPairs: p.cfg.SecondOrderPairs,
+				FM:       fm.Config{Seed: p.cfg.Seed + 7},
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.so = sel
+		}
+		if err := p.so.Apply(frame); err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}
+
+// appendFrame copies src's columns (all tagged with group g) onto dst.
+func appendFrame(dst, src *features.Frame, g features.Group) error {
+	names := src.Names()
+	for j, name := range names {
+		col := make(map[int64]float64, src.NumRows())
+		for _, id := range src.IDs() {
+			row, _ := src.Row(id)
+			col[id] = row[j]
+		}
+		dst.AddColumn(g, name, col, 0)
+	}
+	return nil
+}
+
+// Predictions holds scored customers for one window.
+type Predictions struct {
+	IDs    []int64
+	Scores []float64
+}
+
+// Predict scores every customer of the window (Eq. 4's likelihood).
+func (p *Pipeline) Predict(src Source, win features.Window) (*Predictions, error) {
+	frame, err := p.BuildFrame(src, win, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	x := make([][]float64, frame.NumRows())
+	for i, id := range frame.IDs() {
+		row, _ := frame.Row(id)
+		x[i] = row
+	}
+	scores := p.clf.ScoreAll(x)
+	return &Predictions{IDs: append([]int64(nil), frame.IDs()...), Scores: scores}, nil
+}
+
+// Evaluate scores the test window and compares against the label month's
+// truth, excluding customers already labeled churners in the feature month
+// (the paper ranks "non-churners in the current month"). Returns the
+// prediction list for retention use plus the metric report at u.
+func (p *Pipeline) Evaluate(src Source, spec WindowSpec, u int) ([]eval.Prediction, eval.Report, error) {
+	preds, err := p.Predict(src, spec.Features)
+	if err != nil {
+		return nil, eval.Report{}, err
+	}
+	// Exclude customers already labeled churners before the prediction
+	// horizon (the paper ranks "non-churners in the current month"). The
+	// current month is the one before the label month, which coincides with
+	// the feature month for month-aligned windows and stays correct for
+	// shifted velocity windows.
+	curTruth, err := src.Truth(spec.LabelMonth - 1)
+	if err != nil {
+		return nil, eval.Report{}, err
+	}
+	currentChurners := features.ChurnersOf(curTruth)
+	labelTruth, err := src.Truth(spec.LabelMonth)
+	if err != nil {
+		return nil, eval.Report{}, err
+	}
+	labels := LabelsOf(labelTruth)
+
+	var out []eval.Prediction
+	for i, id := range preds.IDs {
+		if currentChurners[id] {
+			continue
+		}
+		y, ok := labels[id]
+		if !ok {
+			continue
+		}
+		out = append(out, eval.Prediction{ID: id, Score: preds.Scores[i], Label: y})
+	}
+	return out, eval.Evaluate(out, u), nil
+}
+
+// FeatureNames returns the wide table's column names after fitting.
+func (p *Pipeline) FeatureNames() []string { return p.featNames }
+
+// Classifier returns the fitted classifier.
+func (p *Pipeline) Classifier() Classifier { return p.clf }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"telcochurn/internal/features"
+	"telcochurn/internal/sampling"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// simWorld caches one simulation shared by the package's tests.
+var simWorld []*synth.MonthData
+
+func testMonths(t *testing.T) []*synth.MonthData {
+	t.Helper()
+	if simWorld == nil {
+		cfg := synth.DefaultConfig()
+		cfg.Customers = 1500
+		cfg.Months = 6
+		simWorld = synth.Simulate(cfg)
+	}
+	return simWorld
+}
+
+func testForest() tree.ForestConfig {
+	return tree.ForestConfig{NumTrees: 60, MinLeafSamples: 20, Seed: 42}
+}
+
+func TestPipelineBaselineEndToEnd(t *testing.T) {
+	months := testMonths(t)
+	src := NewMemorySource(months, synth.DefaultConfig().DaysPerMonth)
+	days := src.DaysPerMonth()
+
+	p, err := Fit(src, []WindowSpec{MonthSpec(3, days)}, Config{
+		Forest: testForest(),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	u := synth.ScaleU(200000, 1500)
+	preds, report, err := p.Evaluate(src, MonthSpec(4, days), u)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("no test predictions")
+	}
+	t.Logf("baseline F1: %v (U=%d)", report, u)
+	if report.AUC < 0.68 {
+		t.Errorf("baseline AUC %.3f below sanity floor 0.68", report.AUC)
+	}
+	if report.PRAUC < 0.30 {
+		t.Errorf("baseline PR-AUC %.3f below sanity floor 0.30", report.PRAUC)
+	}
+}
+
+func TestPipelineAllGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full feature build is slow")
+	}
+	months := testMonths(t)
+	src := NewMemorySource(months, synth.DefaultConfig().DaysPerMonth)
+	days := src.DaysPerMonth()
+
+	p, err := Fit(src, []WindowSpec{MonthSpec(3, days)}, Config{
+		Groups:    features.AllGroups(),
+		Forest:    testForest(),
+		Imbalance: sampling.WeightedInstance,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("Fit all groups: %v", err)
+	}
+	if got := len(p.FeatureNames()); got != 150 {
+		t.Errorf("wide table has %d features, want the paper's 150", got)
+	}
+	u := synth.ScaleU(200000, 1500)
+	_, report, err := p.Evaluate(src, MonthSpec(4, days), u)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	t.Logf("all groups: %v (U=%d)", report, u)
+	if report.AUC < 0.75 {
+		t.Errorf("all-groups AUC %.3f below sanity floor", report.AUC)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the churn prediction pipeline of Figure 3/6: the
+// 15-day labeling rule, the sliding-window protocol (features from month
+// N-1, labels from month N, prediction for month N+1), feature-group
+// assembly over the features package, imbalance handling, and pluggable
+// classifiers (random forest by default).
+package core
+
+import (
+	"fmt"
+
+	"telcochurn/internal/features"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// Source provides raw tables for feature windows and truth tables for
+// labeling. Implementations: MemorySource over simulator output and
+// WarehouseSource over the on-disk store.
+type Source interface {
+	// Tables returns the raw tables covering the window.
+	Tables(win features.Window) (features.Tables, error)
+	// Truth returns the hidden ground-truth table of a month (used only for
+	// labels and for the retention simulation).
+	Truth(month int) (*table.Table, error)
+	// DaysPerMonth returns the calendar granularity of the source.
+	DaysPerMonth() int
+}
+
+// MemorySource serves simulator output held in memory.
+type MemorySource struct {
+	months map[int]*synth.MonthData
+	days   int
+}
+
+// NewMemorySource indexes the given months. daysPerMonth should match the
+// generator config (synth.DefaultConfig().DaysPerMonth unless overridden).
+func NewMemorySource(months []*synth.MonthData, daysPerMonth int) *MemorySource {
+	m := make(map[int]*synth.MonthData, len(months))
+	for _, md := range months {
+		m[md.Month] = md
+	}
+	return &MemorySource{months: m, days: daysPerMonth}
+}
+
+// Tables implements Source by concatenating the window's months.
+func (s *MemorySource) Tables(win features.Window) (features.Tables, error) {
+	var mds []*synth.MonthData
+	for _, m := range win.Months(s.days) {
+		md, ok := s.months[m]
+		if !ok {
+			return features.Tables{}, fmt.Errorf("core: month %d not in memory source", m)
+		}
+		mds = append(mds, md)
+	}
+	return features.FromMonthData(mds)
+}
+
+// Truth implements Source.
+func (s *MemorySource) Truth(month int) (*table.Table, error) {
+	md, ok := s.months[month]
+	if !ok {
+		return nil, fmt.Errorf("core: truth month %d not in memory source", month)
+	}
+	return md.Truth, nil
+}
+
+// DaysPerMonth implements Source.
+func (s *MemorySource) DaysPerMonth() int { return s.days }
+
+// WarehouseSource serves tables from the on-disk store.
+type WarehouseSource struct {
+	wh   *store.Warehouse
+	days int
+}
+
+// NewWarehouseSource wraps a warehouse.
+func NewWarehouseSource(wh *store.Warehouse, daysPerMonth int) *WarehouseSource {
+	return &WarehouseSource{wh: wh, days: daysPerMonth}
+}
+
+// Tables implements Source.
+func (s *WarehouseSource) Tables(win features.Window) (features.Tables, error) {
+	return features.LoadTables(s.wh, win, s.days)
+}
+
+// Truth implements Source.
+func (s *WarehouseSource) Truth(month int) (*table.Table, error) {
+	return s.wh.ReadPartition(synth.TableTruth, month)
+}
+
+// DaysPerMonth implements Source.
+func (s *WarehouseSource) DaysPerMonth() int { return s.days }
+
+// LabelsOf converts a truth table into a label map: customer -> 0/1 churn
+// per the paper's 15-day recharge rule (already applied by the generator,
+// exactly as the operator's BI system applies it upstream of the paper's
+// pipeline).
+func LabelsOf(truth *table.Table) map[int64]int {
+	imsi := truth.MustCol("imsi").Ints
+	churn := truth.MustCol("churn").Ints
+	out := make(map[int64]int, len(imsi))
+	for i, id := range imsi {
+		out[id] = int(churn[i])
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := make([]Prediction, 500)
+	for i := range p {
+		label := 0
+		score := rng.Float64()
+		if rng.Float64() < 0.3+0.5*score {
+			label = 1
+		}
+		p[i] = Prediction{ID: int64(i), Score: score, Label: label}
+	}
+	ci := BootstrapCI(p, AUC, 200, 0.95, 7)
+	if math.IsNaN(ci.Lo) || math.IsNaN(ci.Hi) {
+		t.Fatal("CI undefined")
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("CI [%.3f, %.3f] does not cover point %.3f", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Width() <= 0 || ci.Width() > 0.3 {
+		t.Errorf("CI width %.3f implausible for n=500", ci.Width())
+	}
+}
+
+func TestBootstrapCIShrinksWithN(t *testing.T) {
+	mk := func(n int) []Prediction {
+		rng := rand.New(rand.NewSource(2))
+		p := make([]Prediction, n)
+		for i := range p {
+			score := rng.Float64()
+			label := 0
+			if rng.Float64() < score {
+				label = 1
+			}
+			p[i] = Prediction{ID: int64(i), Score: score, Label: label}
+		}
+		return p
+	}
+	small := BootstrapCI(mk(100), AUC, 200, 0.95, 3)
+	large := BootstrapCI(mk(2000), AUC, 200, 0.95, 3)
+	if large.Width() >= small.Width() {
+		t.Errorf("CI width did not shrink: n=100 %.3f vs n=2000 %.3f", small.Width(), large.Width())
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	p := preds([]float64{0.9, 0.7, 0.4, 0.2}, []int{1, 1, 0, 0})
+	a := BootstrapCI(p, PRAUC, 100, 0.9, 5)
+	b := BootstrapCI(p, PRAUC, 100, 0.9, 5)
+	if a != b {
+		t.Error("same-seed bootstrap differs")
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	ci := BootstrapCI(nil, AUC, 50, 0.95, 1)
+	if !math.IsNaN(ci.Lo) || !math.IsNaN(ci.Hi) {
+		t.Errorf("empty CI = %+v", ci)
+	}
+}

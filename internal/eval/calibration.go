@@ -1,0 +1,82 @@
+package eval
+
+import "math"
+
+// BrierScore is the mean squared error between predicted probabilities and
+// binary outcomes — the standard check that churn likelihoods are usable as
+// probabilities (campaign sizing multiplies them by customer value).
+// Lower is better; predicting the base rate everywhere scores p(1-p).
+func BrierScore(preds []Prediction) float64 {
+	if len(preds) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, p := range preds {
+		d := p.Score - float64(p.Label)
+		s += d * d
+	}
+	return s / float64(len(preds))
+}
+
+// CalibrationBin is one bin of the reliability diagram.
+type CalibrationBin struct {
+	// MeanScore is the average predicted probability in the bin.
+	MeanScore float64
+	// Observed is the empirical positive rate in the bin.
+	Observed float64
+	// Count is the number of predictions in the bin.
+	Count int
+}
+
+// CalibrationCurve bins predictions by score into numBins equal-width bins
+// over [0,1] and reports predicted-vs-observed rates. Empty bins are
+// omitted.
+func CalibrationCurve(preds []Prediction, numBins int) []CalibrationBin {
+	if numBins <= 0 {
+		numBins = 10
+	}
+	sums := make([]float64, numBins)
+	pos := make([]int, numBins)
+	counts := make([]int, numBins)
+	for _, p := range preds {
+		b := int(p.Score * float64(numBins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= numBins {
+			b = numBins - 1
+		}
+		sums[b] += p.Score
+		counts[b]++
+		if p.Label == 1 {
+			pos[b]++
+		}
+	}
+	var out []CalibrationBin
+	for b := 0; b < numBins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		out = append(out, CalibrationBin{
+			MeanScore: sums[b] / float64(counts[b]),
+			Observed:  float64(pos[b]) / float64(counts[b]),
+			Count:     counts[b],
+		})
+	}
+	return out
+}
+
+// ExpectedCalibrationError is the count-weighted mean |predicted - observed|
+// over the reliability bins — one number summarizing the curve.
+func ExpectedCalibrationError(preds []Prediction, numBins int) float64 {
+	bins := CalibrationCurve(preds, numBins)
+	if len(bins) == 0 {
+		return math.NaN()
+	}
+	total, weighted := 0, 0.0
+	for _, b := range bins {
+		total += b.Count
+		weighted += float64(b.Count) * math.Abs(b.MeanScore-b.Observed)
+	}
+	return weighted / float64(total)
+}

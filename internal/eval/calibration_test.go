@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBrierScoreExtremes(t *testing.T) {
+	perfect := preds([]float64{1, 1, 0, 0}, []int{1, 1, 0, 0})
+	if got := BrierScore(perfect); got != 0 {
+		t.Errorf("perfect Brier = %g", got)
+	}
+	worst := preds([]float64{0, 0, 1, 1}, []int{1, 1, 0, 0})
+	if got := BrierScore(worst); got != 1 {
+		t.Errorf("worst Brier = %g", got)
+	}
+	if !math.IsNaN(BrierScore(nil)) {
+		t.Error("empty Brier should be NaN")
+	}
+}
+
+func TestCalibrationCurveWellCalibrated(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var p []Prediction
+	for i := 0; i < 20000; i++ {
+		score := rng.Float64()
+		label := 0
+		if rng.Float64() < score {
+			label = 1
+		}
+		p = append(p, Prediction{ID: int64(i), Score: score, Label: label})
+	}
+	bins := CalibrationCurve(p, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	for _, b := range bins {
+		if d := math.Abs(b.MeanScore - b.Observed); d > 0.05 {
+			t.Errorf("bin (mean %.2f) observed %.2f — drift %g", b.MeanScore, b.Observed, d)
+		}
+	}
+	if ece := ExpectedCalibrationError(p, 10); ece > 0.03 {
+		t.Errorf("ECE %.4f for a calibrated source", ece)
+	}
+}
+
+func TestCalibrationCurveMiscalibrated(t *testing.T) {
+	// Scores all 0.9 but base rate 0.5: ECE ~ 0.4.
+	var p []Prediction
+	for i := 0; i < 1000; i++ {
+		p = append(p, Prediction{ID: int64(i), Score: 0.9, Label: i % 2})
+	}
+	ece := ExpectedCalibrationError(p, 10)
+	if ece < 0.3 {
+		t.Errorf("ECE %.3f, want ~0.4 for a badly calibrated source", ece)
+	}
+	bins := CalibrationCurve(p, 10)
+	if len(bins) != 1 {
+		t.Errorf("bins = %d, want 1 non-empty", len(bins))
+	}
+}
+
+func TestCalibrationCurveEdgeScores(t *testing.T) {
+	p := preds([]float64{0, 1, 1.2, -0.3}, []int{0, 1, 1, 0}) // clamped into end bins
+	bins := CalibrationCurve(p, 5)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("binned %d of 4 predictions", total)
+	}
+}

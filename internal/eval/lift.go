@@ -1,0 +1,73 @@
+package eval
+
+import "math"
+
+// LiftPoint is one point of the cumulative lift/gain chart telco campaign
+// teams plan against: after targeting the top Frac of the ranked list, the
+// campaign has reached Gain of all churners, a lift of Lift over random
+// targeting.
+type LiftPoint struct {
+	// Frac is the fraction of the population targeted (0..1].
+	Frac float64
+	// Gain is the fraction of all positives captured (cumulative recall).
+	Gain float64
+	// Lift is Gain/Frac: how many times better than random targeting.
+	Lift float64
+}
+
+// LiftCurve computes the cumulative gains curve at numPoints evenly spaced
+// population fractions. Returns nil when there are no positives.
+func LiftCurve(preds []Prediction, numPoints int) []LiftPoint {
+	pos, _ := Counts(preds)
+	if pos == 0 || len(preds) == 0 {
+		return nil
+	}
+	if numPoints <= 0 {
+		numPoints = 10
+	}
+	sorted := make([]Prediction, len(preds))
+	copy(sorted, preds)
+	ByScoreDesc(sorted)
+
+	// Cumulative positives at every rank.
+	cum := make([]int, len(sorted)+1)
+	for i, p := range sorted {
+		cum[i+1] = cum[i]
+		if p.Label == 1 {
+			cum[i+1]++
+		}
+	}
+
+	points := make([]LiftPoint, 0, numPoints)
+	for k := 1; k <= numPoints; k++ {
+		frac := float64(k) / float64(numPoints)
+		n := int(math.Round(frac * float64(len(sorted))))
+		if n < 1 {
+			n = 1
+		}
+		gain := float64(cum[n]) / float64(pos)
+		points = append(points, LiftPoint{
+			Frac: frac,
+			Gain: gain,
+			Lift: gain / frac,
+		})
+	}
+	return points
+}
+
+// LiftAt returns the lift of the top frac of the ranked list (NaN when
+// undefined).
+func LiftAt(preds []Prediction, frac float64) float64 {
+	if frac <= 0 || frac > 1 {
+		return math.NaN()
+	}
+	pos, _ := Counts(preds)
+	if pos == 0 || len(preds) == 0 {
+		return math.NaN()
+	}
+	n := int(math.Round(frac * float64(len(preds))))
+	if n < 1 {
+		n = 1
+	}
+	return (RecallAtU(preds, n)) / frac
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiftCurvePerfectRanking(t *testing.T) {
+	// 2 positives ranked on top of 8 negatives: targeting the top 20%
+	// captures everything (lift 5), the full list has lift 1.
+	p := preds(
+		[]float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		[]int{1, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+	)
+	curve := LiftCurve(p, 10)
+	if len(curve) != 10 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	if curve[0].Frac != 0.1 || curve[0].Gain != 0.5 || math.Abs(curve[0].Lift-5) > 1e-12 {
+		t.Errorf("first point = %+v", curve[0])
+	}
+	if curve[1].Gain != 1 || math.Abs(curve[1].Lift-5) > 1e-12 {
+		t.Errorf("second point = %+v", curve[1])
+	}
+	last := curve[len(curve)-1]
+	if last.Gain != 1 || math.Abs(last.Lift-1) > 1e-12 {
+		t.Errorf("last point = %+v", last)
+	}
+}
+
+func TestLiftCurveProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		p := make([]Prediction, n)
+		anyPos := false
+		for i := range p {
+			p[i] = Prediction{ID: int64(i), Score: rng.Float64(), Label: rng.Intn(2)}
+			anyPos = anyPos || p[i].Label == 1
+		}
+		if !anyPos {
+			return LiftCurve(p, 10) == nil
+		}
+		curve := LiftCurve(p, 20)
+		prevGain := 0.0
+		for _, pt := range curve {
+			if pt.Gain < prevGain-1e-12 { // gains are cumulative
+				return false
+			}
+			prevGain = pt.Gain
+			if pt.Lift < 0 {
+				return false
+			}
+		}
+		// Full-list point: gain 1, lift 1.
+		last := curve[len(curve)-1]
+		return math.Abs(last.Gain-1) < 1e-12 && math.Abs(last.Lift-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiftAt(t *testing.T) {
+	p := preds(
+		[]float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		[]int{1, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+	)
+	if got := LiftAt(p, 0.2); math.Abs(got-5) > 1e-12 {
+		t.Errorf("LiftAt(0.2) = %g, want 5", got)
+	}
+	if got := LiftAt(p, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LiftAt(1) = %g, want 1", got)
+	}
+	if !math.IsNaN(LiftAt(p, 0)) || !math.IsNaN(LiftAt(p, 1.5)) {
+		t.Error("out-of-range frac should be NaN")
+	}
+	if !math.IsNaN(LiftAt(nil, 0.5)) {
+		t.Error("empty predictions should be NaN")
+	}
+}

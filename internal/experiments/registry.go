@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runner executes one experiment id.
+type runner func(Options) (Result, error)
+
+var registry = map[string]runner{
+	"fig1": func(o Options) (Result, error) { return Fig1ChurnRates(o), nil },
+	"tab1": func(o Options) (Result, error) { return Tab1DatasetStats(NewEnv(o)), nil },
+	"fig5": func(o Options) (Result, error) { return Fig5RechargeDistribution(NewEnv(o)), nil },
+	"fig7": func(o Options) (Result, error) { return Fig7Volume(o) },
+	"tab2": func(o Options) (Result, error) { return Tab2Variety(o) },
+	"tab3": func(o Options) (Result, error) { return Tab3Overall(o) },
+	"tab4": func(o Options) (Result, error) {
+		res, err := Tab3Overall(o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Importance, nil
+	},
+	"tab5": func(o Options) (Result, error) { return Tab5Velocity(o) },
+	"tab6": func(o Options) (Result, error) { return Tab6Value(o) },
+	"tab7": func(o Options) (Result, error) { return Tab7Imbalance(o) },
+	"fig8": func(o Options) (Result, error) { return Fig8EarlySignals(o) },
+	"fig9": func(o Options) (Result, error) { return Fig9Classifiers(o) },
+
+	// Ablations of this reproduction's own design choices (not paper
+	// artifacts; see DESIGN.md §6).
+	"abl-trees":    func(o Options) (Result, error) { return AblTrees(o) },
+	"abl-minleaf":  func(o Options) (Result, error) { return AblMinLeaf(o) },
+	"abl-graphwin": func(o Options) (Result, error) { return AblGraphWindow(o) },
+}
+
+// IDs lists the experiment identifiers in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(opts)
+}

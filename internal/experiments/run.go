@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"telcochurn/internal/core"
+	"telcochurn/internal/eval"
+	"telcochurn/internal/features"
+	"telcochurn/internal/sampling"
+)
+
+// runSpec is one pipeline train/evaluate execution.
+type runSpec struct {
+	groups     []features.Group
+	train      []core.WindowSpec
+	test       core.WindowSpec
+	u          int
+	imbalance  sampling.Method
+	classifier core.Classifier
+	seedShift  int64
+}
+
+// run fits a pipeline on the spec and evaluates it, returning the labeled
+// test predictions (for extra cutoffs), the metric report at spec.u, and
+// the fitted pipeline (for importance inspection).
+func (e *Env) run(spec runSpec) ([]eval.Prediction, eval.Report, *core.Pipeline, error) {
+	cfg := core.Config{
+		Groups:     spec.groups,
+		Forest:     e.Opts.forest(),
+		Imbalance:  spec.imbalance,
+		Classifier: spec.classifier,
+		Seed:       e.Opts.Seed + spec.seedShift,
+	}
+	p, err := core.Fit(e.Src, spec.train, cfg)
+	if err != nil {
+		return nil, eval.Report{}, nil, err
+	}
+	preds, report, err := p.Evaluate(e.Src, spec.test, spec.u)
+	return preds, report, p, err
+}
+
+// monthWin abbreviates features.MonthWindow for experiment code.
+func monthWin(m, days int) features.Window { return features.MonthWindow(m, days) }
+
+// monthTrain builds v consecutive one-month training specs whose newest
+// feature month is newestFeatureMonth (labels one month later each).
+func monthTrain(newestFeatureMonth, v, days int) []core.WindowSpec {
+	specs := make([]core.WindowSpec, 0, v)
+	for m := newestFeatureMonth - v + 1; m <= newestFeatureMonth; m++ {
+		specs = append(specs, core.MonthSpec(m, days))
+	}
+	return specs
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTab5VelocityStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-training experiment")
+	}
+	res, err := Tab5Velocity(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CadenceDays) != 4 || res.CadenceDays[0] != 30 || res.CadenceDays[3] != 5 {
+		t.Fatalf("cadences = %v", res.CadenceDays)
+	}
+	for i, rep := range res.Reports {
+		if rep.AUC < 0.5 || rep.AUC > 1 {
+			t.Errorf("cadence %d AUC = %.3f", res.CadenceDays[i], rep.AUC)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "30 days") || !strings.Contains(sb.String(), "5 days") {
+		t.Error("render missing cadence rows")
+	}
+}
+
+func TestFig7VolumeStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-training experiment")
+	}
+	opts := tinyOpts()
+	res, err := Fig7Volume(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Volumes) != 6 {
+		t.Fatalf("volumes = %v", res.Volumes)
+	}
+	if len(res.Us) != 3 {
+		t.Fatalf("us = %v", res.Us)
+	}
+	// The headline claim, loosely: max-volume PR-AUC should not be
+	// dramatically below single-month (noise allows small dips, but a big
+	// regression means accumulation is broken).
+	first := res.Reports[0][0].PRAUC
+	last := res.Reports[5][0].PRAUC
+	if last < first*0.85 {
+		t.Errorf("6-month volume PR-AUC %.3f far below 1-month %.3f", last, first)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "paper U = 50000") {
+		t.Error("render missing scaled-U header")
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model-training experiment")
+	}
+	opts := tinyOpts()
+	trees, err := AblTrees(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees.Labels) != 6 {
+		t.Fatalf("abl-trees rows = %d", len(trees.Labels))
+	}
+	// Larger ensembles should not be dramatically worse than tiny ones.
+	if trees.Reports[5].AUC < trees.Reports[0].AUC-0.05 {
+		t.Errorf("400 trees AUC %.3f far below 10 trees %.3f",
+			trees.Reports[5].AUC, trees.Reports[0].AUC)
+	}
+
+	gw, err := AblGraphWindow(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw.Reports) != 2 {
+		t.Fatalf("abl-graphwin rows = %d", len(gw.Reports))
+	}
+	var sb strings.Builder
+	trees.Render(&sb)
+	gw.Render(&sb)
+	if !strings.Contains(sb.String(), "feature month + previous") {
+		t.Error("graph-window render missing default row")
+	}
+}

@@ -1,0 +1,631 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// Tables bundles the raw tables covering one observation window. Event
+// tables (calls, messages, recharges, complaints, web, search, locations)
+// may span several months; snapshot tables (billing, customers) are monthly.
+type Tables struct {
+	Calls      *table.Table
+	Messages   *table.Table
+	Recharges  *table.Table
+	Billing    *table.Table
+	Customers  *table.Table
+	Complaints *table.Table
+	Web        *table.Table
+	Search     *table.Table
+	Locations  *table.Table
+}
+
+// Window is an inclusive range of absolute days. Absolute day 1 is day 1 of
+// month 1; month m day d is (m-1)*daysPerMonth + d. A window shorter or
+// shifted relative to month boundaries implements the Velocity experiment's
+// sliding update (Table 5).
+type Window struct {
+	FromAbs, ToAbs int
+}
+
+// AbsDay converts (month, day) to an absolute day.
+func AbsDay(month, day, daysPerMonth int) int {
+	return (month-1)*daysPerMonth + day
+}
+
+// MonthWindow is the whole-month window for month m.
+func MonthWindow(month, daysPerMonth int) Window {
+	return Window{FromAbs: AbsDay(month, 1, daysPerMonth), ToAbs: AbsDay(month, daysPerMonth, daysPerMonth)}
+}
+
+// LastMonth returns the month containing the window's final day.
+func (w Window) LastMonth(daysPerMonth int) int {
+	return (w.ToAbs-1)/daysPerMonth + 1
+}
+
+// Months returns every month the window overlaps, ascending.
+func (w Window) Months(daysPerMonth int) []int {
+	first := (w.FromAbs-1)/daysPerMonth + 1
+	last := w.LastMonth(daysPerMonth)
+	months := make([]int, 0, last-first+1)
+	for m := first; m <= last; m++ {
+		months = append(months, m)
+	}
+	return months
+}
+
+// LoadTables reads every raw table overlapping the window from the
+// warehouse.
+func LoadTables(wh *store.Warehouse, win Window, daysPerMonth int) (Tables, error) {
+	months := win.Months(daysPerMonth)
+	var t Tables
+	read := func(name string) (*table.Table, error) { return wh.ReadMonths(name, months) }
+	var err error
+	if t.Calls, err = read(synth.TableCalls); err != nil {
+		return t, fmt.Errorf("features: load calls: %w", err)
+	}
+	if t.Messages, err = read(synth.TableMessages); err != nil {
+		return t, fmt.Errorf("features: load messages: %w", err)
+	}
+	if t.Recharges, err = read(synth.TableRecharges); err != nil {
+		return t, fmt.Errorf("features: load recharges: %w", err)
+	}
+	if t.Billing, err = read(synth.TableBilling); err != nil {
+		return t, fmt.Errorf("features: load billing: %w", err)
+	}
+	if t.Customers, err = read(synth.TableCustomers); err != nil {
+		return t, fmt.Errorf("features: load customers: %w", err)
+	}
+	if t.Complaints, err = read(synth.TableComplaints); err != nil {
+		return t, fmt.Errorf("features: load complaints: %w", err)
+	}
+	if t.Web, err = read(synth.TableWeb); err != nil {
+		return t, fmt.Errorf("features: load web: %w", err)
+	}
+	if t.Search, err = read(synth.TableSearch); err != nil {
+		return t, fmt.Errorf("features: load search: %w", err)
+	}
+	if t.Locations, err = read(synth.TableLocations); err != nil {
+		return t, fmt.Errorf("features: load locations: %w", err)
+	}
+	return t, nil
+}
+
+// FromMonthData builds Tables directly from in-memory simulator output
+// (concatenating the given months), bypassing the warehouse. A single month
+// shares the simulator's tables; multiple months are concatenated into fresh
+// tables so the simulator output is never mutated.
+func FromMonthData(months []*synth.MonthData) (Tables, error) {
+	var t Tables
+	if len(months) == 0 {
+		return t, nil
+	}
+	if len(months) == 1 {
+		md := months[0]
+		return Tables{
+			Calls: md.Calls, Messages: md.Messages, Recharges: md.Recharges,
+			Billing: md.Billing, Customers: md.Customers, Complaints: md.Complaints,
+			Web: md.Web, Search: md.Search, Locations: md.Locations,
+		}, nil
+	}
+	first := months[0]
+	t = Tables{
+		Calls:      table.NewTable(first.Calls.Schema),
+		Messages:   table.NewTable(first.Messages.Schema),
+		Recharges:  table.NewTable(first.Recharges.Schema),
+		Billing:    table.NewTable(first.Billing.Schema),
+		Customers:  table.NewTable(first.Customers.Schema),
+		Complaints: table.NewTable(first.Complaints.Schema),
+		Web:        table.NewTable(first.Web.Schema),
+		Search:     table.NewTable(first.Search.Schema),
+		Locations:  table.NewTable(first.Locations.Schema),
+	}
+	for _, md := range months {
+		pairs := []struct {
+			dst *table.Table
+			src *table.Table
+		}{
+			{t.Calls, md.Calls}, {t.Messages, md.Messages}, {t.Recharges, md.Recharges},
+			{t.Billing, md.Billing}, {t.Customers, md.Customers}, {t.Complaints, md.Complaints},
+			{t.Web, md.Web}, {t.Search, md.Search}, {t.Locations, md.Locations},
+		}
+		for _, p := range pairs {
+			if err := p.dst.AppendTable(p.src); err != nil {
+				return t, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// inWindow returns a row predicate filtering an event table (with month and
+// day columns) to the window.
+func inWindow(t *table.Table, win Window, daysPerMonth int) func(int) bool {
+	months := t.MustCol("month").Ints
+	days := t.MustCol("day").Ints
+	return func(i int) bool {
+		abs := AbsDay(int(months[i]), int(days[i]), daysPerMonth)
+		return abs >= win.FromAbs && abs <= win.ToAbs
+	}
+}
+
+// SnapshotMonth returns the month whose end-of-month snapshot tables
+// (billing, demographics) a window may use: the month containing ToAbs if
+// the window reaches that month's last day, otherwise the month before.
+// Monthly snapshots are produced by BSS at month end (Section 5.4: "some
+// big tables ... are summarized automatically by BSS monthly"), so a window
+// ending mid-month must not see the in-progress month's summary.
+func (w Window) SnapshotMonth(daysPerMonth int) int {
+	m := w.LastMonth(daysPerMonth)
+	if w.ToAbs == AbsDay(m, daysPerMonth, daysPerMonth) {
+		return m
+	}
+	return m - 1
+}
+
+// snapshotMonth filters a monthly snapshot table to the window's snapshot
+// month.
+func snapshotMonth(t *table.Table, win Window, daysPerMonth int) *table.Table {
+	m := int64(win.SnapshotMonth(daysPerMonth))
+	months := t.MustCol("month").Ints
+	return t.Filter(func(i int) bool { return months[i] == m })
+}
+
+// colMap converts a (key, value) pair of columns into a map.
+func colMap(t *table.Table, valueCol string) map[int64]float64 {
+	keys := t.MustCol("imsi").Ints
+	col := t.MustCol(valueCol)
+	out := make(map[int64]float64, len(keys))
+	for i, k := range keys {
+		out[k] = col.Float(i)
+	}
+	return out
+}
+
+// sumBy filters t by pred and sums valueCol per customer via the engine's
+// group-by (the paper's Spark SQL aggregation queries).
+func sumBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]float64 {
+	ft := t.Filter(pred)
+	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: valueCol, Func: table.Sum, As: "v"})
+	if err != nil {
+		panic(fmt.Sprintf("features: sumBy(%s): %v", valueCol, err))
+	}
+	return colMap(g, "v")
+}
+
+func countBy(t *table.Table, pred func(int) bool) map[int64]float64 {
+	ft := t.Filter(pred)
+	g, err := table.GroupBy(ft, "imsi", table.Agg{Func: table.Count, As: "v"})
+	if err != nil {
+		panic(fmt.Sprintf("features: countBy: %v", err))
+	}
+	return colMap(g, "v")
+}
+
+func meanBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]float64 {
+	ft := t.Filter(pred)
+	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: valueCol, Func: table.Mean, As: "v"})
+	if err != nil {
+		panic(fmt.Sprintf("features: meanBy(%s): %v", valueCol, err))
+	}
+	return colMap(g, "v")
+}
+
+func distinctBy(t *table.Table, pred func(int) bool, col string) map[int64]float64 {
+	ft := t.Filter(pred)
+	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: col, Func: table.CountDistinct, As: "v"})
+	if err != nil {
+		panic(fmt.Sprintf("features: distinctBy(%s): %v", col, err))
+	}
+	return colMap(g, "v")
+}
+
+// ratio computes num[id]/den[id] per customer present in den, with def when
+// the denominator is missing or zero.
+func ratio(num, den map[int64]float64, def float64) map[int64]float64 {
+	out := make(map[int64]float64, len(den))
+	for id, d := range den {
+		if d == 0 {
+			out[id] = def
+			continue
+		}
+		out[id] = num[id] / d
+	}
+	return out
+}
+
+func scale(m map[int64]float64, k float64) map[int64]float64 {
+	out := make(map[int64]float64, len(m))
+	for id, v := range m {
+		out[id] = v * k
+	}
+	return out
+}
+
+// BaseFeatures builds the F1 (baseline BSS), F2 (CS KPI/KQI) and F3 (PS
+// KPI/KQI + location) columns of the wide table for the given window. The
+// customer universe is the window's last-month demographic snapshot.
+func BaseFeatures(tbl Tables, win Window, daysPerMonth int) (*Frame, error) {
+	cust := snapshotMonth(tbl.Customers, win, daysPerMonth)
+	if cust.NumRows() == 0 {
+		return nil, fmt.Errorf("features: no customer snapshot for month %d", win.LastMonth(daysPerMonth))
+	}
+	frame := NewFrame(cust.MustCol("imsi").Ints)
+	addF1(frame, tbl, cust, win, daysPerMonth)
+	addF2(frame, tbl, win, daysPerMonth)
+	addF3(frame, tbl, win, daysPerMonth)
+	return frame, nil
+}
+
+func addF1(f *Frame, tbl Tables, cust *table.Table, win Window, daysPerMonth int) {
+	calls := tbl.Calls
+	inWin := inWindow(calls, win, daysPerMonth)
+	kind := calls.MustCol("kind").Ints
+	mo := calls.MustCol("mo").Ints
+	peerOp := calls.MustCol("peer_op").Ints
+	success := calls.MustCol("success").Ints
+	busy := calls.MustCol("busy").Ints
+	fest := calls.MustCol("fest").Ints
+	free := calls.MustCol("free").Ints
+	gift := calls.MustCol("gift").Ints
+	svc := calls.MustCol("svc").Ints
+	manual := calls.MustCol("manual").Ints
+
+	and := func(preds ...func(int) bool) func(int) bool {
+		return func(i int) bool {
+			for _, p := range preds {
+				if !p(i) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	isMO := func(i int) bool { return mo[i] == 1 }
+	isMT := func(i int) bool { return mo[i] == 0 }
+	ok := func(i int) bool { return success[i] == 1 }
+	kindIs := func(k int64) func(int) bool { return func(i int) bool { return kind[i] == k } }
+	localAny := func(i int) bool { return kind[i] == synth.CallLocalInner || kind[i] == synth.CallLocalOuter }
+	notSvc := func(i int) bool { return svc[i] == 0 }
+
+	// Call durations (seconds).
+	durCols := []struct {
+		name string
+		pred func(int) bool
+	}{
+		{"localbase_inner_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalInner), notSvc)},
+		{"localbase_outer_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalOuter))},
+		{"ld_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLongDist))},
+		{"roam_call_dur", and(inWin, isMO, ok, kindIs(synth.CallRoam))},
+		{"localbase_called_dur", and(inWin, isMT, ok, localAny)},
+		{"ld_called_dur", and(inWin, isMT, ok, kindIs(synth.CallLongDist))},
+		{"roam_called_dur", and(inWin, isMT, ok, kindIs(synth.CallRoam))},
+		{"cm_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaMobile })},
+		{"ct_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaTelecom })},
+		{"busy_call_dur", and(inWin, isMO, ok, func(i int) bool { return busy[i] == 1 })},
+		{"fest_call_dur", and(inWin, isMO, ok, func(i int) bool { return fest[i] == 1 })},
+		{"free_call_dur", and(inWin, ok, func(i int) bool { return free[i] == 1 })},
+		{"gift_voice_call_dur", and(inWin, ok, func(i int) bool { return gift[i] == 1 })},
+		{"voice_dur", and(inWin, ok)},
+		{"caller_dur", and(inWin, isMO, ok)},
+	}
+	for _, c := range durCols {
+		f.AddColumn(F1Baseline, c.name, sumBy(calls, c.pred, "dur"), 0)
+	}
+
+	// Call counts.
+	cntCols := []struct {
+		name string
+		pred func(int) bool
+	}{
+		{"all_call_cnt", inWin},
+		{"voice_cnt", and(inWin, ok)},
+		{"local_base_call_cnt", and(inWin, isMO, localAny, notSvc)},
+		{"ld_call_cnt", and(inWin, isMO, kindIs(synth.CallLongDist))},
+		{"roam_call_cnt", and(inWin, isMO, kindIs(synth.CallRoam))},
+		{"caller_cnt", and(inWin, isMO)},
+		{"call_10010_cnt", and(inWin, func(i int) bool { return svc[i] == 1 })},
+		{"call_10010_manual_cnt", and(inWin, func(i int) bool { return manual[i] == 1 })},
+	}
+	for _, c := range cntCols {
+		f.AddColumn(F1Baseline, c.name, countBy(calls, c.pred), 0)
+	}
+
+	// Call minutes (duration/60 views the BI system reports separately).
+	f.AddColumn(F1Baseline, "local_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, localAny), "dur"), 1.0/60), 0)
+	f.AddColumn(F1Baseline, "toll_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, kindIs(synth.CallLongDist)), "dur"), 1.0/60), 0)
+	f.AddColumn(F1Baseline, "roam_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, kindIs(synth.CallRoam)), "dur"), 1.0/60), 0)
+	f.AddColumn(F1Baseline, "voice_call_minutes", scale(sumBy(calls, and(inWin, ok), "dur"), 1.0/60), 0)
+
+	// Messages.
+	msgs := tbl.Messages
+	mInWin := inWindow(msgs, win, daysPerMonth)
+	mKind := msgs.MustCol("kind").Ints
+	mMO := msgs.MustCol("mo").Ints
+	mMMS := msgs.MustCol("mms").Ints
+	mOp := msgs.MustCol("peer_op").Ints
+	mRoamInt := msgs.MustCol("roam_int").Ints
+	mGift := msgs.MustCol("gift").Ints
+
+	mIsMO := func(i int) bool { return mMO[i] == 1 }
+	mIsMT := func(i int) bool { return mMO[i] == 0 }
+	isSMS := func(i int) bool { return mMMS[i] == 0 }
+	isMMS := func(i int) bool { return mMMS[i] == 1 }
+	p2p := func(i int) bool { return mKind[i] == synth.MsgP2P }
+	opIs := func(op int64) func(int) bool { return func(i int) bool { return mOp[i] == op } }
+
+	msgCols := []struct {
+		name string
+		pred func(int) bool
+	}{
+		{"sms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpSelf))},
+		{"sms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mOp[i] != synth.OpSelf })},
+		{"sms_p2p_cm_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaMobile))},
+		{"sms_p2p_ct_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaTelecom))},
+		{"sms_info_mo_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgInfo })},
+		{"sms_p2p_roam_int_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mRoamInt[i] == 1 })},
+		{"sms_bill_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgBilling })},
+		{"sms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isSMS)},
+		{"serve_sms_count", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService })},
+		{"mms_cnt", and(mInWin, isMMS)},
+		{"mms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, opIs(synth.OpSelf))},
+		{"mms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, func(i int) bool { return mOp[i] != synth.OpSelf })},
+		{"mms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isMMS)},
+		{"p2p_sms_mo_cnt", and(mInWin, p2p, mIsMO, isSMS)},
+		{"gift_sms_mo_cnt", and(mInWin, mIsMO, func(i int) bool { return mGift[i] == 1 })},
+	}
+	for _, c := range msgCols {
+		f.AddColumn(F1Baseline, c.name, countBy(msgs, c.pred), 0)
+	}
+	f.AddColumn(F1Baseline, "distinct_serve_count",
+		distinctBy(msgs, and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService }), "peer"), 0)
+
+	// Billing snapshot (window's last month).
+	billing := snapshotMonth(tbl.Billing, win, daysPerMonth)
+	for _, c := range []struct{ col, name string }{
+		{"balance", "balance"},
+		{"total_charge", "total_charge"},
+		{"recharge_value", "recharge_value"},
+		{"balance_rate", "balance_rate"},
+		{"gprs_flux", "gprs_flux"},
+		{"gprs_charge", "gprs_charge"},
+		{"sms_charge", "p2p_sms_mo_charge"},
+		{"gift_flux", "gift_flux_value"},
+	} {
+		f.AddColumn(F1Baseline, c.name, colMap(billing, c.col), 0)
+	}
+
+	// Recharge events.
+	rech := tbl.Recharges
+	rInWin := inWindow(rech, win, daysPerMonth)
+	f.AddColumn(F1Baseline, "recharge_cnt", countBy(rech, rInWin), 0)
+
+	// Demographics (window's last month snapshot).
+	for _, c := range []string{
+		"age", "gender", "pspt_type", "is_shanghai", "town_id", "sale_id",
+		"product_id", "product_price", "product_knd", "credit_value", "innet_dura",
+	} {
+		f.AddColumn(F1Baseline, c, colMap(cust, c), 0)
+	}
+
+	// Complaints and activity spread.
+	f.AddColumn(F1Baseline, "complaint_cnt", countBy(tbl.Complaints, inWindow(tbl.Complaints, win, daysPerMonth)), 0)
+	f.AddColumn(F1Baseline, "active_call_days", distinctBy(calls, inWin, "day"), 0)
+	f.AddColumn(F1Baseline, "gprs_all_flux", sumBy(tbl.Web, inWindow(tbl.Web, win, daysPerMonth), "flux"), 0)
+
+	// Within-window usage-trend features: the classic "declining usage"
+	// baseline churn signals every BI churn model carries. Halves are split
+	// at the window midpoint in absolute days.
+	mid := (win.FromAbs + win.ToAbs) / 2
+	absOf := func(t *table.Table) func(int) float64 {
+		ms := t.MustCol("month").Ints
+		ds := t.MustCol("day").Ints
+		return func(i int) float64 { return float64(AbsDay(int(ms[i]), int(ds[i]), daysPerMonth)) }
+	}
+	callAbs := absOf(calls)
+	firstHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) <= float64(mid) }), "dur")
+	secondHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) > float64(mid) }), "dur")
+	decline := make(map[int64]float64, len(firstHalfDur))
+	for id, fh := range firstHalfDur {
+		decline[id] = secondHalfDur[id] / (fh + 60)
+	}
+	for id, sh := range secondHalfDur {
+		if _, seen := firstHalfDur[id]; !seen {
+			decline[id] = sh / 60
+		}
+	}
+	f.AddColumn(F1Baseline, "call_dur_decline", decline, 0)
+
+	webAbs := absOf(tbl.Web)
+	webWin := inWindow(tbl.Web, win, daysPerMonth)
+	fhFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) <= float64(mid) }, "flux")
+	shFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) > float64(mid) }, "flux")
+	fluxDecline := make(map[int64]float64, len(fhFlux))
+	for id, fh := range fhFlux {
+		fluxDecline[id] = shFlux[id] / (fh + 5)
+	}
+	for id, sh := range shFlux {
+		if _, seen := fhFlux[id]; !seen {
+			fluxDecline[id] = sh / 5
+		}
+	}
+	f.AddColumn(F1Baseline, "flux_decline", fluxDecline, 0)
+
+	// Last day with any voice or data activity, relative to window start.
+	lastCall := maxAbsDay(calls, inWin, callAbs)
+	lastWeb := maxAbsDay(tbl.Web, webWin, webAbs)
+	lastActive := make(map[int64]float64, len(lastCall))
+	for id, v := range lastCall {
+		lastActive[id] = v - float64(win.FromAbs) + 1
+	}
+	for id, v := range lastWeb {
+		rel := v - float64(win.FromAbs) + 1
+		if rel > lastActive[id] {
+			lastActive[id] = rel
+		}
+	}
+	f.AddColumn(F1Baseline, "last_active_day", lastActive, 0)
+
+	// Last recharge day relative to window start (0 = none in window).
+	rechAbs := absOf(rech)
+	lastRecharge := maxAbsDay(rech, rInWin, rechAbs)
+	lastRechargeRel := make(map[int64]float64, len(lastRecharge))
+	for id, v := range lastRecharge {
+		lastRechargeRel[id] = v - float64(win.FromAbs) + 1
+	}
+	f.AddColumn(F1Baseline, "last_recharge_day", lastRechargeRel, 0)
+}
+
+// maxAbsDay returns each customer's maximum absolute event day.
+func maxAbsDay(t *table.Table, pred func(int) bool, abs func(int) float64) map[int64]float64 {
+	imsi := t.MustCol("imsi").Ints
+	out := make(map[int64]float64)
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		if !pred(i) {
+			continue
+		}
+		if v := abs(i); v > out[imsi[i]] {
+			out[imsi[i]] = v
+		}
+	}
+	return out
+}
+
+func addF2(f *Frame, tbl Tables, win Window, daysPerMonth int) {
+	calls := tbl.Calls
+	inWin := inWindow(calls, win, daysPerMonth)
+	success := calls.MustCol("success").Ints
+	dropped := calls.MustCol("dropped").Ints
+	svc := calls.MustCol("svc").Ints
+
+	// Exclude synthetic service-line rows from quality KPIs.
+	real := func(i int) bool { return inWin(i) && svc[i] == 0 }
+	okPred := func(i int) bool { return real(i) && success[i] == 1 }
+
+	attempts := countBy(calls, real)
+	successes := countBy(calls, okPred)
+	drops := countBy(calls, func(i int) bool { return real(i) && dropped[i] == 1 })
+
+	f.AddColumn(F2CS, "call_success_rate", ratio(successes, attempts, 1), 1)
+	f.AddColumn(F2CS, "e2e_conn_delay", meanBy(calls, okPred, "conn_delay"), 0)
+	f.AddColumn(F2CS, "call_drop_rate", ratio(drops, successes, 0), 0)
+	f.AddColumn(F2CS, "uplink_mos", meanBy(calls, okPred, "mos_ul"), 0)
+	f.AddColumn(F2CS, "voice_quality", meanBy(calls, okPred, "mos_dl"), 0)
+	f.AddColumn(F2CS, "ip_mos", meanBy(calls, okPred, "mos_ip"), 0)
+	f.AddColumn(F2CS, "oneway_audio_cnt", sumByInt(calls, real, "oneway"), 0)
+	f.AddColumn(F2CS, "noise_cnt", sumByInt(calls, real, "noise"), 0)
+	f.AddColumn(F2CS, "echo_cnt", sumByInt(calls, real, "echo"), 0)
+}
+
+// sumByInt sums an Int64 column per customer.
+func sumByInt(t *table.Table, pred func(int) bool, col string) map[int64]float64 {
+	return sumBy(t, pred, col)
+}
+
+func addF3(f *Frame, tbl Tables, win Window, daysPerMonth int) {
+	web := tbl.Web
+	inWin := inWindow(web, win, daysPerMonth)
+
+	pageReq := sumBy(web, inWin, "page_req")
+	pageSucc := sumBy(web, inWin, "page_succ")
+	browseSucc := sumBy(web, inWin, "browse_succ")
+	tcpOK := sumBy(web, inWin, "tcp_ok")
+	tcpAtt := sumBy(web, inWin, "tcp_att")
+	emailCnt := sumBy(web, inWin, "email_cnt")
+	emailOK := sumBy(web, inWin, "email_ok")
+
+	f.AddColumn(F3PS, "page_response_success_rate", ratio(pageSucc, pageReq, 1), 1)
+	f.AddColumn(F3PS, "page_response_delay", meanBy(web, inWin, "resp_delay"), 0)
+	f.AddColumn(F3PS, "page_browsing_success_rate", ratio(browseSucc, pageSucc, 1), 1)
+	f.AddColumn(F3PS, "page_browsing_delay", meanBy(web, inWin, "browse_delay"), 0)
+	f.AddColumn(F3PS, "page_download_throughput", meanBy(web, inWin, "dl_tp"), 0)
+	f.AddColumn(F3PS, "upload_throughput", meanBy(web, inWin, "ul_tp"), 0)
+	f.AddColumn(F3PS, "ps_flux", sumBy(web, inWin, "flux"), 0)
+	f.AddColumn(F3PS, "tcp_conn_rate", ratio(tcpOK, tcpAtt, 1), 1)
+	f.AddColumn(F3PS, "tcp_rtt", meanBy(web, inWin, "tcp_rtt"), 0)
+	f.AddColumn(F3PS, "streaming_filesize", sumBy(web, inWin, "stream_size"), 0)
+	f.AddColumn(F3PS, "streaming_dw_packets", sumBy(web, inWin, "stream_pkts"), 0)
+	f.AddColumn(F3PS, "email_cnt", emailCnt, 0)
+	f.AddColumn(F3PS, "email_success_rate", ratio(emailOK, emailCnt, 1), 1)
+	f.AddColumn(F3PS, "ps_active_days", distinctBy(web, inWin, "day"), 0)
+	f.AddColumn(F3PS, "page_cnt", pageReq, 0)
+	f.AddColumn(F3PS, "page_size_mean", meanBy(web, inWin, "page_size"), 0)
+
+	addTopLocations(f, tbl, win, daysPerMonth)
+}
+
+// addTopLocations adds the top-5 most frequent stay locations (lat/lon
+// pairs) from MR data — 10 F3 features per the paper (minus one slot used
+// by page_size_mean above, keeping the group at 25 columns).
+func addTopLocations(f *Frame, tbl Tables, win Window, daysPerMonth int) {
+	loc := tbl.Locations
+	inWin := inWindow(loc, win, daysPerMonth)
+	imsi := loc.MustCol("imsi").Ints
+	cellCol := loc.MustCol("cell").Ints
+	latCol := loc.MustCol("lat").Floats
+	lonCol := loc.MustCol("lon").Floats
+
+	type cellStat struct {
+		count    int
+		lat, lon float64
+	}
+	perCustomer := make(map[int64]map[int64]*cellStat)
+	n := loc.NumRows()
+	for i := 0; i < n; i++ {
+		if !inWin(i) {
+			continue
+		}
+		id := imsi[i]
+		cells := perCustomer[id]
+		if cells == nil {
+			cells = make(map[int64]*cellStat)
+			perCustomer[id] = cells
+		}
+		cs := cells[cellCol[i]]
+		if cs == nil {
+			cs = &cellStat{lat: latCol[i], lon: lonCol[i]}
+			cells[cellCol[i]] = cs
+		}
+		cs.count++
+	}
+
+	const topN = 4 // 4 locations x 2 coords = 8 columns; +visit spread = 9
+	lats := make([]map[int64]float64, topN)
+	lons := make([]map[int64]float64, topN)
+	for k := range lats {
+		lats[k] = make(map[int64]float64)
+		lons[k] = make(map[int64]float64)
+	}
+	distinctCells := make(map[int64]float64)
+	for id, cells := range perCustomer {
+		type kv struct {
+			cell int64
+			st   *cellStat
+		}
+		ranked := make([]kv, 0, len(cells))
+		for c, st := range cells {
+			ranked = append(ranked, kv{c, st})
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].st.count != ranked[b].st.count {
+				return ranked[a].st.count > ranked[b].st.count
+			}
+			return ranked[a].cell < ranked[b].cell
+		})
+		for k := 0; k < topN && k < len(ranked); k++ {
+			lats[k][id] = ranked[k].st.lat
+			lons[k][id] = ranked[k].st.lon
+		}
+		distinctCells[id] = float64(len(cells))
+	}
+	for k := 0; k < topN; k++ {
+		f.AddColumn(F3PS, fmt.Sprintf("loc_top%d_lat", k+1), lats[k], 0)
+		f.AddColumn(F3PS, fmt.Sprintf("loc_top%d_lon", k+1), lons[k], 0)
+	}
+	f.AddColumn(F3PS, "loc_distinct_cells", distinctCells, 0)
+}

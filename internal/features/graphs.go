@@ -1,0 +1,202 @@
+package features
+
+import (
+	"telcochurn/internal/graph"
+	"telcochurn/internal/table"
+)
+
+// BuildCallGraph builds the call graph of Section 4.1.2 from the window's
+// CDRs: undirected, edge weight = accumulated mutual calling seconds.
+// Off-net peers and service numbers are excluded (they are not customers).
+func BuildCallGraph(tbl Tables, win Window, daysPerMonth int, isCustomer func(int64) bool) *graph.Graph {
+	g := graph.New()
+	calls := tbl.Calls
+	inWin := inWindow(calls, win, daysPerMonth)
+	imsi := calls.MustCol("imsi").Ints
+	peer := calls.MustCol("peer").Ints
+	dur := calls.MustCol("dur").Floats
+	success := calls.MustCol("success").Ints
+	svc := calls.MustCol("svc").Ints
+	n := calls.NumRows()
+	for i := 0; i < n; i++ {
+		if !inWin(i) || success[i] != 1 || svc[i] == 1 || dur[i] <= 0 {
+			continue
+		}
+		if !isCustomer(peer[i]) {
+			continue
+		}
+		g.AddEdge(imsi[i], peer[i], dur[i])
+	}
+	return g
+}
+
+// BuildMessageGraph builds the message graph: edge weight = number of P2P
+// messages between two customers.
+func BuildMessageGraph(tbl Tables, win Window, daysPerMonth int, isCustomer func(int64) bool) *graph.Graph {
+	g := graph.New()
+	msgs := tbl.Messages
+	inWin := inWindow(msgs, win, daysPerMonth)
+	imsi := msgs.MustCol("imsi").Ints
+	peer := msgs.MustCol("peer").Ints
+	kind := msgs.MustCol("kind").Ints
+	n := msgs.NumRows()
+	for i := 0; i < n; i++ {
+		if !inWin(i) || kind[i] != 0 {
+			continue
+		}
+		if !isCustomer(peer[i]) {
+			continue
+		}
+		g.AddEdge(imsi[i], peer[i], 1)
+	}
+	return g
+}
+
+// BuildCooccurrenceGraph builds the co-occurrence graph: edge weight = the
+// number of spatiotemporal cubes (cell × day × time slot, the paper's
+// "within 20 minute and 100x100 meter cube") two customers share in the
+// window. Cube populations are capped to avoid quadratic blowup on very
+// crowded cells; within a cap of c members a cube contributes c(c-1)/2
+// edges, which preserves the community structure the feature needs.
+func BuildCooccurrenceGraph(tbl Tables, win Window, daysPerMonth int, isCustomer func(int64) bool) *graph.Graph {
+	const cubeCap = 30
+	g := graph.New()
+	loc := tbl.Locations
+	inWin := inWindow(loc, win, daysPerMonth)
+	imsi := loc.MustCol("imsi").Ints
+	day := loc.MustCol("day").Ints
+	month := loc.MustCol("month").Ints
+	slot := loc.MustCol("slot").Ints
+	cell := loc.MustCol("cell").Ints
+
+	type cube struct {
+		abs  int64 // month*100+day packed with slot and cell below
+		slot int64
+		cell int64
+	}
+	members := make(map[cube][]int64)
+	n := loc.NumRows()
+	for i := 0; i < n; i++ {
+		if !inWin(i) || !isCustomer(imsi[i]) {
+			continue
+		}
+		c := cube{abs: month[i]*64 + day[i], slot: slot[i], cell: cell[i]}
+		m := members[c]
+		if len(m) >= cubeCap {
+			continue
+		}
+		// Deduplicate repeated fixes of the same customer in one cube.
+		dup := false
+		for _, id := range m {
+			if id == imsi[i] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			members[c] = append(m, imsi[i])
+		}
+	}
+	for _, m := range members {
+		for a := 0; a < len(m); a++ {
+			for b := a + 1; b < len(m); b++ {
+				g.AddEdge(m[a], m[b], 1)
+			}
+		}
+	}
+	return g
+}
+
+// GraphFeatureInput bundles what the graph features need beyond the raw
+// tables: the churner seeds from the previous month (known labels) and a
+// stable-customer sample for the label-propagation negative class.
+type GraphFeatureInput struct {
+	// PrevChurners holds customers labeled churners in the month before the
+	// feature window (Section 4.1.2: "the churners in the previous month").
+	PrevChurners map[int64]bool
+	// StableSample holds known non-churners used as class-0 seeds so label
+	// propagation has both classes (without them every propagated
+	// distribution collapses to the churner class).
+	StableSample map[int64]bool
+}
+
+// AddGraphFeatures computes PageRank and label-propagation features on the
+// three graphs and adds the six F4-F6 columns (paper names from Table 4).
+func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in GraphFeatureInput) {
+	isCustomer := func(id int64) bool {
+		_, ok := f.index[id]
+		return ok || in.PrevChurners[id]
+	}
+	type namedGraph struct {
+		g      *graph.Graph
+		group  Group
+		suffix string
+	}
+	graphs := []namedGraph{
+		{BuildCallGraph(tbl, win, daysPerMonth, isCustomer), F4CallGraph, "voice"},
+		{BuildMessageGraph(tbl, win, daysPerMonth, isCustomer), F5MessageGraph, "message"},
+		{BuildCooccurrenceGraph(tbl, win, daysPerMonth, isCustomer), F6CooccurrenceGraph, "cooccurrence"},
+	}
+
+	seeds := make(map[int64]int)
+	for id := range in.PrevChurners {
+		seeds[id] = 1
+	}
+	for id := range in.StableSample {
+		if _, dup := seeds[id]; !dup {
+			seeds[id] = 0
+		}
+	}
+
+	for _, ng := range graphs {
+		pr := ng.g.PageRank(graph.PageRankOptions{})
+		prCol := make(map[int64]float64, len(pr))
+		// Scale by vertex count so the feature is population-size invariant.
+		nv := float64(ng.g.NumVertices())
+		for id, v := range pr {
+			prCol[id] = v * nv
+		}
+		f.AddColumn(ng.group, "pagerank_"+ng.suffix, prCol, 0)
+
+		lp := ng.g.LabelPropagation(seeds, 2, graph.LabelPropOptions{})
+		lpCol := make(map[int64]float64, len(lp))
+		for id, probs := range lp {
+			lpCol[id] = probs[1]
+		}
+		f.AddColumn(ng.group, "labelpropagation_"+ng.suffix, lpCol, 0.5)
+	}
+}
+
+// ChurnersOf extracts the labeled churners of a month from its truth table.
+func ChurnersOf(truth *table.Table) map[int64]bool {
+	out := make(map[int64]bool)
+	imsi := truth.MustCol("imsi").Ints
+	churn := truth.MustCol("churn").Ints
+	for i, id := range imsi {
+		if churn[i] == 1 {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// StableOf extracts labeled non-churners of a month, downsampled by taking
+// every strideth one (deterministic, no RNG needed for seeds).
+func StableOf(truth *table.Table, stride int) map[int64]bool {
+	if stride < 1 {
+		stride = 1
+	}
+	out := make(map[int64]bool)
+	imsi := truth.MustCol("imsi").Ints
+	churn := truth.MustCol("churn").Ints
+	k := 0
+	for i, id := range imsi {
+		if churn[i] == 0 {
+			if k%stride == 0 {
+				out[id] = true
+			}
+			k++
+		}
+	}
+	return out
+}

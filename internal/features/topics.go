@@ -1,0 +1,103 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"telcochurn/internal/table"
+	"telcochurn/internal/topic"
+)
+
+// TopicFeaturizer holds a trained LDA model for one text source (complaints
+// or search queries). Fit it on the training window's corpus; Apply folds in
+// any month's documents against the fixed topic-word distributions, so test
+// months never influence the topics.
+type TopicFeaturizer struct {
+	model  *topic.Model
+	group  Group
+	prefix string
+}
+
+// aggregateTexts concatenates each customer's texts in the window into one
+// document (Section 4.1.3: "each customer can be represented as a document
+// containing a bag of words").
+func aggregateTexts(t *table.Table, win Window, daysPerMonth int) map[int64]string {
+	inWin := inWindow(t, win, daysPerMonth)
+	imsi := t.MustCol("imsi").Ints
+	text := t.MustCol("text").Strings
+	var sb map[int64]*strings.Builder = make(map[int64]*strings.Builder)
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		if !inWin(i) {
+			continue
+		}
+		b := sb[imsi[i]]
+		if b == nil {
+			b = &strings.Builder{}
+			sb[imsi[i]] = b
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(text[i])
+	}
+	out := make(map[int64]string, len(sb))
+	for id, b := range sb {
+		out[id] = b.String()
+	}
+	return out
+}
+
+// FitTopicFeaturizer trains LDA (K topics via belief propagation) on the
+// window's customer documents from the given text table.
+func FitTopicFeaturizer(t *table.Table, win Window, daysPerMonth int, group Group, prefix string, cfg topic.Config) (*TopicFeaturizer, error) {
+	docs := aggregateTexts(t, win, daysPerMonth)
+	corpus := topic.NewCorpus()
+	// Deterministic document order.
+	ids := sortedKeys(docs)
+	for _, id := range ids {
+		corpus.AddDoc(id, docs[id])
+	}
+	if corpus.NumDocs() == 0 {
+		return nil, fmt.Errorf("features: no %s documents in window [%d,%d]", prefix, win.FromAbs, win.ToAbs)
+	}
+	model, err := topic.Fit(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TopicFeaturizer{model: model, group: group, prefix: prefix}, nil
+}
+
+// Apply adds K topic-proportion columns for the window's documents to the
+// frame. Customers with no text get the uniform distribution.
+func (tf *TopicFeaturizer) Apply(f *Frame, t *table.Table, win Window, daysPerMonth int) {
+	docs := aggregateTexts(t, win, daysPerMonth)
+	k := tf.model.K()
+	cols := make([]map[int64]float64, k)
+	for i := range cols {
+		cols[i] = make(map[int64]float64, len(docs))
+	}
+	for _, id := range sortedKeys(docs) {
+		theta := tf.model.FoldIn(docs[id], 0)
+		for i, v := range theta {
+			cols[i][id] = v
+		}
+	}
+	uniform := 1.0 / float64(k)
+	for i := range cols {
+		f.AddColumn(tf.group, fmt.Sprintf("%s_topic_%d", tf.prefix, i), cols[i], uniform)
+	}
+}
+
+// K returns the topic count.
+func (tf *TopicFeaturizer) K() int { return tf.model.K() }
+
+func sortedKeys(m map[int64]string) []int64 {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

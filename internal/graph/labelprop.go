@@ -1,0 +1,121 @@
+package graph
+
+// LabelPropOptions configures label propagation.
+type LabelPropOptions struct {
+	// MaxIters bounds the number of sweeps (default 30).
+	MaxIters int
+	// Tolerance stops iteration when per-vertex L1 change falls below it
+	// (default 1e-6).
+	Tolerance float64
+}
+
+func (o LabelPropOptions) withDefaults() LabelPropOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 30
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// LabelPropagation runs the paper's 3-step iteration (Section 4.1.2):
+//
+//  1. Y <- W Y
+//  2. row-normalize Y
+//  3. clamp the seed rows, repeat until convergence
+//
+// generalized to C classes. seeds maps vertex ID to class (0..C-1); those
+// rows are fixed to one-hot throughout. Unlabeled vertices start uniform.
+// The result maps every vertex ID to its class-probability vector.
+//
+// For churn features C=2 with seeds = last month's churners (class 1) plus a
+// sample of stable customers (class 0); for retention features C is the
+// number of campaign outcomes.
+func (g *Graph) LabelPropagation(seeds map[int64]int, numClasses int, opts LabelPropOptions) map[int64][]float64 {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	out := make(map[int64][]float64, n)
+	if n == 0 || numClasses == 0 {
+		return out
+	}
+
+	y := make([][]float64, n)
+	fixed := make([]int, n) // class+1 for seed rows, 0 otherwise
+	for i, id := range g.ids {
+		y[i] = make([]float64, numClasses)
+		if cls, ok := seeds[id]; ok && cls >= 0 && cls < numClasses {
+			y[i][cls] = 1
+			fixed[i] = cls + 1
+		} else {
+			for c := range y[i] {
+				y[i][c] = 1.0 / float64(numClasses)
+			}
+		}
+	}
+
+	next := make([][]float64, n)
+	for i := range next {
+		next[i] = make([]float64, numClasses)
+	}
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		delta := 0.0
+		for i, edges := range g.adj {
+			if fixed[i] != 0 {
+				copy(next[i], y[i])
+				continue
+			}
+			row := next[i]
+			for c := range row {
+				row[c] = 0
+			}
+			if len(edges) == 0 {
+				// Isolated unlabeled vertex: stays uniform.
+				for c := range row {
+					row[c] = 1.0 / float64(numClasses)
+				}
+				continue
+			}
+			// Step 1: Y <- W Y restricted to row i.
+			for _, e := range edges {
+				src := y[e.to]
+				for c := range row {
+					row[c] += e.weight * src[c]
+				}
+			}
+			// Step 2: row-normalize.
+			sum := 0.0
+			for _, v := range row {
+				sum += v
+			}
+			if sum > 0 {
+				for c := range row {
+					row[c] /= sum
+				}
+			} else {
+				for c := range row {
+					row[c] = 1.0 / float64(numClasses)
+				}
+			}
+			for c := range row {
+				diff := row[c] - y[i][c]
+				if diff < 0 {
+					diff = -diff
+				}
+				delta += diff
+			}
+		}
+		y, next = next, y
+		if delta < opts.Tolerance*float64(n) {
+			break
+		}
+	}
+
+	for i, id := range g.ids {
+		probs := make([]float64, numClasses)
+		copy(probs, y[i])
+		out[id] = probs
+	}
+	return out
+}

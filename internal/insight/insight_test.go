@@ -1,0 +1,77 @@
+package insight
+
+import (
+	"strings"
+	"testing"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/synth"
+)
+
+func TestNetworkReport(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 1500
+	cfg.Months = 3
+	months := synth.Simulate(cfg)
+	src := core.NewMemorySource(months, cfg.DaysPerMonth)
+	win := features.MonthWindow(2, cfg.DaysPerMonth)
+	tbl, err := src.Tables(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.LabelsOf(months[2].Truth) // churn in month 3
+
+	report, err := BuildNetworkReport(tbl, win, cfg.DaysPerMonth, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) == 0 {
+		t.Fatal("no cells in report")
+	}
+	totalCustomers := 0
+	for _, c := range report.Cells {
+		if c.ChurnRate < 0 || c.ChurnRate > 1 {
+			t.Fatalf("cell %d churn rate %g", c.Cell, c.ChurnRate)
+		}
+		if c.Churners > c.Customers {
+			t.Fatalf("cell %d churners %d > customers %d", c.Cell, c.Churners, c.Customers)
+		}
+		totalCustomers += c.Customers
+	}
+	// Nearly every labeled customer has location fixes; allow some slack for
+	// the fully inactive.
+	if totalCustomers < len(labels)*8/10 {
+		t.Errorf("report covers %d customers of %d labeled", totalCustomers, len(labels))
+	}
+	// Ranked descending by churn rate.
+	for i := 1; i < len(report.Cells); i++ {
+		if report.Cells[i].ChurnRate > report.Cells[i-1].ChurnRate {
+			t.Fatal("cells not ranked by churn rate")
+		}
+	}
+	// The generator couples cell quality to churn, so the weighted
+	// correlation must come out positive.
+	if report.QualityChurnCorr <= 0 {
+		t.Errorf("quality-churn correlation %.3f, want positive", report.QualityChurnCorr)
+	}
+
+	var sb strings.Builder
+	report.Render(&sb, 5)
+	if !strings.Contains(sb.String(), "network insight") {
+		t.Error("render missing header")
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 7 {
+		t.Errorf("render lines = %d, want 7 (header+cols+5 cells)", got)
+	}
+}
+
+func TestWeightedCorrDegenerate(t *testing.T) {
+	if got := weightedCorr(nil); got != 0 {
+		t.Errorf("empty corr = %g", got)
+	}
+	same := []CellReport{{Customers: 5, AvgQuality: 1, ChurnRate: 0.1}, {Customers: 5, AvgQuality: 1, ChurnRate: 0.2}}
+	if got := weightedCorr(same); got != 0 {
+		t.Errorf("zero-variance corr = %g", got)
+	}
+}

@@ -1,0 +1,94 @@
+package retention
+
+import (
+	"testing"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// campaignPair holds the two campaigns of the closed-loop experiment.
+type campaignPair struct {
+	first, second *CampaignResult
+}
+
+// runBothCampaigns trains the churn pipeline, runs the random-offer month-8
+// campaign and the classifier-matched month-9 campaign.
+func runBothCampaigns(t *testing.T, cfg synth.Config) campaignPair {
+	t.Helper()
+	months := synth.Simulate(cfg)
+	src := core.NewMemorySource(months, cfg.DaysPerMonth)
+
+	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(6, cfg.DaysPerMonth)}, core.Config{
+		Forest: tree.ForestConfig{NumTrees: 80, MinLeafSamples: 20, Seed: 7},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatalf("churn pipeline fit: %v", err)
+	}
+	runner := NewRunner(src, pipe, Config{
+		TopTier:    synth.ScaleU(50000, cfg.Customers),
+		SecondTier: synth.ScaleU(100000, cfg.Customers),
+		Seed:       7,
+	})
+	pilot, err := runner.RunPilotCampaign(7)
+	if err != nil {
+		t.Fatalf("pilot campaign: %v", err)
+	}
+	first, err := runner.RunFirstCampaign(8)
+	if err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	clf, err := runner.FitOfferClassifier(pilot, first)
+	if err != nil {
+		t.Fatalf("offer classifier: %v", err)
+	}
+	second, err := runner.RunMatchedCampaign(9, clf)
+	if err != nil {
+		t.Fatalf("matched campaign: %v", err)
+	}
+	return campaignPair{first: first, second: second}
+}
+
+func TestCampaignClosedLoop(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 2000
+	cfg.Months = 9
+	pair := runBothCampaigns(t, cfg)
+	first, second := pair.first, pair.second
+	for _, s := range first.Stats {
+		t.Logf("month 8 tier %d group %c: %d/%d = %.2f%%", s.Tier, s.Group, s.Recharged, s.Total, 100*s.Rate())
+	}
+	for _, s := range second.Stats {
+		t.Logf("month 9 tier %d group %c: %d/%d = %.2f%%", s.Tier, s.Group, s.Recharged, s.Total, 100*s.Rate())
+	}
+
+	// The paper's Table 6 contrasts: control ≪ random offers ≤ matched
+	// offers. Cells hold a handful of acceptances at test scale, so the
+	// treatment-vs-control check pools both tiers and the matched-vs-random
+	// check allows binomial noise (the profit test and the tab6 experiment
+	// assert the stronger claim at campaign scale).
+	pooled := func(r *CampaignResult, group byte) float64 {
+		total, recharged := 0, 0
+		for _, s := range r.Stats {
+			if s.Group == group {
+				total += s.Total
+				recharged += s.Recharged
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(recharged) / float64(total)
+	}
+	if a, b := pooled(first, 'A'), pooled(first, 'B'); b <= a {
+		t.Errorf("month 8: treatment rate %.3f should exceed control %.3f", b, a)
+	}
+	if a, b := pooled(second, 'A'), pooled(second, 'B'); b <= a {
+		t.Errorf("month 9: treatment rate %.3f should exceed control %.3f", b, a)
+	}
+	if m8, m9 := pooled(first, 'B'), pooled(second, 'B'); m9 < m8-0.08 {
+		t.Errorf("matched offers (month 9, %.3f) far below random offers (month 8, %.3f)", m9, m8)
+	}
+}

@@ -1,0 +1,118 @@
+package retention
+
+import (
+	"math/rand"
+	"testing"
+
+	"telcochurn/internal/eval"
+	"telcochurn/internal/synth"
+)
+
+func TestAcceptProb(t *testing.T) {
+	if got := acceptProb(synth.OfferNone, synth.OfferFlux500MB, 0.9); got != 0 {
+		t.Errorf("no-offer accept prob = %g", got)
+	}
+	matched := acceptProb(synth.OfferFlux500MB, synth.OfferFlux500MB, 0.8)
+	other := acceptProb(synth.OfferCashback50, synth.OfferFlux500MB, 0.8)
+	if matched <= other {
+		t.Errorf("matched %g should exceed mismatched %g", matched, other)
+	}
+	if matched != 0.8*matchedOfferMult {
+		t.Errorf("matched = %g", matched)
+	}
+	if got := acceptProb(synth.OfferVoice200Min, synth.OfferVoice200Min, 0); got != 0 {
+		t.Errorf("zero retainability accept prob = %g", got)
+	}
+}
+
+func TestSelectTargetsTiersAndGroups(t *testing.T) {
+	var preds []eval.Prediction
+	for i := 0; i < 100; i++ {
+		preds = append(preds, eval.Prediction{ID: int64(i), Score: float64(100 - i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	targets := selectTargets(preds, Config{TopTier: 20, SecondTier: 50}, rng)
+	if len(targets) != 50 {
+		t.Fatalf("targets = %d, want 50", len(targets))
+	}
+	for i, tg := range targets {
+		wantTier := 1
+		if i >= 20 {
+			wantTier = 2
+		}
+		if tg.Tier != wantTier {
+			t.Errorf("target %d tier = %d, want %d", i, tg.Tier, wantTier)
+		}
+		if tg.ID != int64(i) {
+			t.Errorf("target %d is customer %d; ranking broken", i, tg.ID)
+		}
+	}
+	a, b := 0, 0
+	for _, tg := range targets {
+		if tg.Group == 'A' {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Errorf("degenerate A/B split %d/%d", a, b)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	targets := []Target{
+		{Tier: 1, Group: 'A', Recharged: false},
+		{Tier: 1, Group: 'B', Recharged: true},
+		{Tier: 1, Group: 'B', Recharged: false},
+		{Tier: 2, Group: 'A', Recharged: true},
+	}
+	res := statsOf(8, targets)
+	if res.Month != 8 || len(res.Stats) != 4 {
+		t.Fatalf("res = %+v", res)
+	}
+	byKey := map[[2]any]TierStats{}
+	for _, s := range res.Stats {
+		byKey[[2]any{s.Tier, s.Group}] = s
+	}
+	if s := byKey[[2]any{1, byte('B')}]; s.Total != 2 || s.Recharged != 1 || s.Rate() != 0.5 {
+		t.Errorf("tier1/B = %+v", s)
+	}
+	if s := byKey[[2]any{2, byte('B')}]; s.Total != 0 || s.Rate() != 0 {
+		t.Errorf("empty cell = %+v", s)
+	}
+}
+
+func TestSimulateOutcomesFalsePositives(t *testing.T) {
+	truth := map[int64]truthInfo{
+		1: {decided: false, inRecharge: true, daysToRech: 5},  // recharges
+		2: {decided: false, inRecharge: true, daysToRech: 20}, // too late
+		3: {decided: false, inRecharge: false, daysToRech: 0}, // never entered
+		4: {decided: true, bestOffer: 1, retainBase: 1.0},     // churner, offered matched
+		5: {decided: true, bestOffer: 1, retainBase: 0},       // churner, unretainable
+	}
+	targets := []Target{
+		{ID: 1, Tier: 1, Group: 'A'},
+		{ID: 2, Tier: 1, Group: 'A'},
+		{ID: 3, Tier: 1, Group: 'A'},
+		{ID: 4, Tier: 1, Group: 'B', Offer: 1},
+		{ID: 5, Tier: 1, Group: 'B', Offer: 1},
+		{ID: 9, Tier: 1, Group: 'A'}, // absent from truth
+	}
+	// With retainBase 1 and matched mult 0.62 acceptance is random; force
+	// many draws to check the deterministic cases only.
+	rng := rand.New(rand.NewSource(2))
+	simulateOutcomes(targets, truth, rng)
+	if !targets[0].Recharged {
+		t.Error("in-recharge day-5 FP should recharge")
+	}
+	if targets[1].Recharged || targets[2].Recharged {
+		t.Error("late/absent FP should not recharge")
+	}
+	if targets[4].Recharged {
+		t.Error("unretainable churner should not recharge")
+	}
+	if targets[5].Recharged {
+		t.Error("missing customer should not recharge")
+	}
+}

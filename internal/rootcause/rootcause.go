@@ -1,0 +1,198 @@
+// Package rootcause implements the paper's stated extension (Section 6):
+// "inferring root causes of churners for actionable and suitable retention
+// strategies". It turns the random forest's decision-path attributions into
+// an actionable cause taxonomy per predicted churner — is this customer
+// leaving over network quality, price, social contagion, or general
+// disengagement? — which is exactly what decides the matching retention
+// lever (network optimization vs cashback vs community offers).
+package rootcause
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"telcochurn/internal/tree"
+)
+
+// Cause is an actionable churn-driver category.
+type Cause int
+
+// The cause taxonomy, ordered by the retention lever it maps to.
+const (
+	// CauseQuality: bad CS/PS experience — hand to network optimization.
+	CauseQuality Cause = iota
+	// CausePrice: price sensitivity and spend signals — cashback offers.
+	CausePrice
+	// CauseSocial: graph contagion and community effects — community offers.
+	CauseSocial
+	// CauseDisengagement: usage collapse, balance drain — win-back bundles.
+	CauseDisengagement
+	// CauseCompetitor: competitor-oriented search/topic signals — counter-offers.
+	CauseCompetitor
+	// CauseOther: demographics and everything unmapped.
+	CauseOther
+	numCauses
+)
+
+// String returns the category label.
+func (c Cause) String() string {
+	switch c {
+	case CauseQuality:
+		return "network quality"
+	case CausePrice:
+		return "price"
+	case CauseSocial:
+		return "social contagion"
+	case CauseDisengagement:
+		return "disengagement"
+	case CauseCompetitor:
+		return "competitor pull"
+	case CauseOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Causes lists the taxonomy in order.
+func Causes() []Cause {
+	out := make([]Cause, numCauses)
+	for i := range out {
+		out[i] = Cause(i)
+	}
+	return out
+}
+
+// CauseOfFeature maps a wide-table feature name to its cause category, using
+// the feature naming conventions of the features package.
+func CauseOfFeature(name string) Cause {
+	switch {
+	// Quality: the F2 CS KPIs and the F3 PS KPIs.
+	case strings.HasPrefix(name, "call_success_rate"), strings.HasPrefix(name, "e2e_"),
+		strings.HasPrefix(name, "call_drop_rate"), strings.Contains(name, "mos"),
+		strings.HasPrefix(name, "voice_quality"), strings.HasPrefix(name, "oneway_"),
+		strings.HasPrefix(name, "noise_"), strings.HasPrefix(name, "echo_"),
+		strings.HasPrefix(name, "page_response"), strings.HasPrefix(name, "page_browsing"),
+		strings.HasPrefix(name, "page_download"), strings.HasPrefix(name, "upload_"),
+		strings.HasPrefix(name, "tcp_"), strings.HasPrefix(name, "complaint_topic_"),
+		name == "complaint_cnt", name == "call_10010_cnt", name == "call_10010_manual_cnt":
+		return CauseQuality
+	// Price: spend, product and charge signals.
+	case name == "total_charge", name == "gprs_charge", name == "p2p_sms_mo_charge",
+		strings.HasPrefix(name, "product_"), name == "balance_rate",
+		strings.Contains(name, "_x_"): // second-order spend interactions
+		return CausePrice
+	// Social: graph features.
+	case strings.HasPrefix(name, "pagerank_"), strings.HasPrefix(name, "labelpropagation_"):
+		return CauseSocial
+	// Competitor pull: search topics.
+	case strings.HasPrefix(name, "search_topic_"):
+		return CauseCompetitor
+	// Disengagement: balance, recharge and usage-volume/decline signals.
+	case name == "balance", strings.HasPrefix(name, "recharge_"),
+		strings.HasPrefix(name, "last_"), strings.Contains(name, "decline"),
+		strings.Contains(name, "_dur"), strings.Contains(name, "_cnt"),
+		strings.Contains(name, "minutes"), strings.Contains(name, "flux"),
+		strings.HasPrefix(name, "active_"), strings.HasPrefix(name, "ps_"),
+		strings.HasPrefix(name, "page_cnt"), strings.HasPrefix(name, "email_"),
+		strings.HasPrefix(name, "streaming_"), strings.HasPrefix(name, "sms_"),
+		strings.HasPrefix(name, "mms_"), strings.HasPrefix(name, "gift_"),
+		strings.HasPrefix(name, "voice_"), strings.HasPrefix(name, "caller_"):
+		return CauseDisengagement
+	default:
+		return CauseOther
+	}
+}
+
+// Explanation is one customer's churn-score decomposition.
+type Explanation struct {
+	ID    int64
+	Score float64
+	Bias  float64
+	// ByCause holds the summed signed contribution of each category.
+	ByCause map[Cause]float64
+	// Top holds the strongest individual feature attributions.
+	Top []tree.Contribution
+}
+
+// Primary returns the category with the largest positive contribution — the
+// customer's inferred root cause.
+func (e *Explanation) Primary() Cause {
+	best, bestV := CauseOther, 0.0
+	first := true
+	for _, c := range Causes() {
+		v := e.ByCause[c]
+		if first || v > bestV {
+			best, bestV = c, v
+			first = false
+		}
+	}
+	return best
+}
+
+// String renders a one-line summary.
+func (e *Explanation) String() string {
+	return fmt.Sprintf("customer %d score=%.3f primary=%s", e.ID, e.Score, e.Primary())
+}
+
+// Explainer decomposes forest scores.
+type Explainer struct {
+	forest *tree.Forest
+	names  []string
+	causes []Cause
+}
+
+// NewExplainer prepares an explainer for a trained forest (feature names are
+// taken from the forest's training dataset).
+func NewExplainer(f *tree.Forest) *Explainer {
+	names := f.FeatureNames()
+	causes := make([]Cause, len(names))
+	for i, n := range names {
+		causes[i] = CauseOfFeature(n)
+	}
+	return &Explainer{forest: f, names: names, causes: causes}
+}
+
+// Explain decomposes one customer's churn score (topK strongest individual
+// features are included; pass 0 for none).
+func (ex *Explainer) Explain(id int64, x []float64, topK int) *Explanation {
+	bias, contrib := ex.forest.Contributions(x)
+	e := &Explanation{
+		ID:      id,
+		Bias:    bias,
+		ByCause: make(map[Cause]float64, numCauses),
+	}
+	score := bias
+	for i, c := range contrib {
+		score += c
+		e.ByCause[ex.causes[i]] += c
+	}
+	e.Score = score
+	if topK > 0 {
+		e.Top = ex.forest.TopContributions(x, topK)
+	}
+	return e
+}
+
+// CauseShare aggregates primary causes over many explanations — the
+// operator-level "why are our customers leaving" report.
+func CauseShare(explanations []*Explanation) map[Cause]float64 {
+	counts := make(map[Cause]float64, numCauses)
+	for _, e := range explanations {
+		counts[e.Primary()]++
+	}
+	if len(explanations) > 0 {
+		for c := range counts {
+			counts[c] /= float64(len(explanations))
+		}
+	}
+	return counts
+}
+
+// RankedCauses returns causes by descending share.
+func RankedCauses(share map[Cause]float64) []Cause {
+	cs := Causes()
+	sort.SliceStable(cs, func(i, j int) bool { return share[cs[i]] > share[cs[j]] })
+	return cs
+}

@@ -1,0 +1,118 @@
+// Package sampling implements the four class-imbalance treatments compared
+// in Table 7: Not Balanced, Up Sampling, Down Sampling and Weighted
+// Instance. All operate on binary-labeled datasets where class 1 (churner)
+// is the minority.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"telcochurn/internal/dataset"
+)
+
+// Method enumerates the imbalance treatments.
+type Method int
+
+const (
+	// methodUnset is the zero value, distinct from every real method so a
+	// zero core.Config field means "use the default" rather than
+	// NotBalanced.
+	methodUnset Method = iota
+	// NotBalanced trains on the data as-is.
+	NotBalanced
+	// UpSampling randomly duplicates minority instances until the classes
+	// are balanced.
+	UpSampling
+	// DownSampling randomly drops majority instances until the classes are
+	// balanced.
+	DownSampling
+	// WeightedInstance assigns each instance a weight inversely proportional
+	// to its class frequency (the paper's winner).
+	WeightedInstance
+)
+
+// String returns the paper's row label for the method.
+func (m Method) String() string {
+	switch m {
+	case NotBalanced:
+		return "Not Balanced"
+	case UpSampling:
+		return "Up Sampling"
+	case DownSampling:
+		return "Down Sampling"
+	case WeightedInstance:
+		return "Weighted Instance"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all four in the paper's Table 7 order.
+func Methods() []Method {
+	return []Method{NotBalanced, UpSampling, DownSampling, WeightedInstance}
+}
+
+// Apply returns a dataset prepared with the given method. NotBalanced and
+// WeightedInstance share rows with d (WeightedInstance sets d's weight
+// vector on a shallow copy); the samplers return resampled datasets.
+func Apply(d *dataset.Dataset, m Method, rng *rand.Rand) (*dataset.Dataset, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	pos, neg := classIndices(d)
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, errors.New("sampling: need both classes present")
+	}
+	switch m {
+	case NotBalanced:
+		return d, nil
+	case UpSampling:
+		idx := append(append([]int(nil), pos...), neg...)
+		for len(idx) < 2*len(neg) {
+			idx = append(idx, pos[rng.Intn(len(pos))])
+		}
+		return d.Subset(idx), nil
+	case DownSampling:
+		perm := rng.Perm(len(neg))
+		idx := append([]int(nil), pos...)
+		for i := 0; i < len(pos) && i < len(neg); i++ {
+			idx = append(idx, neg[perm[i]])
+		}
+		return d.Subset(idx), nil
+	case WeightedInstance:
+		out := &dataset.Dataset{
+			FeatureNames: d.FeatureNames,
+			X:            d.X,
+			Y:            d.Y,
+			W:            make([]float64, d.NumInstances()),
+		}
+		// Class weight = n / (2 * n_class): weights average 1 and the two
+		// classes contribute equal total mass.
+		n := float64(d.NumInstances())
+		wPos := n / (2 * float64(len(pos)))
+		wNeg := n / (2 * float64(len(neg)))
+		for i, y := range d.Y {
+			if y == 1 {
+				out.W[i] = wPos
+			} else {
+				out.W[i] = wNeg
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown method %v", m)
+	}
+}
+
+func classIndices(d *dataset.Dataset) (pos, neg []int) {
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	return pos, neg
+}

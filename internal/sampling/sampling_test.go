@@ -1,0 +1,131 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"telcochurn/internal/dataset"
+)
+
+func imbalanced(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New([]string{"x"})
+	for i := 0; i < 90; i++ {
+		d.Add([]float64{float64(i)}, 0)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(1000 + i)}, 1)
+	}
+	return d
+}
+
+func classCounts(d *dataset.Dataset) (pos, neg int) {
+	for _, y := range d.Y {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return
+}
+
+func TestNotBalancedIsIdentity(t *testing.T) {
+	d := imbalanced(t)
+	out, err := Apply(d, NotBalanced, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != d {
+		t.Error("NotBalanced should return the input unchanged")
+	}
+}
+
+func TestUpSamplingBalances(t *testing.T) {
+	d := imbalanced(t)
+	out, err := Apply(d, UpSampling, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := classCounts(out)
+	if pos != neg {
+		t.Errorf("upsampled classes %d/%d, want equal", pos, neg)
+	}
+	if neg != 90 {
+		t.Errorf("upsampling changed the majority count to %d", neg)
+	}
+	// Duplicated rows come from the original positives.
+	for i, y := range out.Y {
+		if y == 1 && out.X[i][0] < 1000 {
+			t.Fatal("upsampled positive has a negative's feature value")
+		}
+	}
+}
+
+func TestDownSamplingBalances(t *testing.T) {
+	d := imbalanced(t)
+	out, err := Apply(d, DownSampling, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := classCounts(out)
+	if pos != 10 || neg != 10 {
+		t.Errorf("downsampled classes %d/%d, want 10/10", pos, neg)
+	}
+}
+
+func TestWeightedInstanceBalancesMass(t *testing.T) {
+	d := imbalanced(t)
+	out, err := Apply(d, WeightedInstance, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumInstances() != d.NumInstances() {
+		t.Error("weighting should not resample")
+	}
+	var posMass, negMass, total float64
+	for i, y := range out.Y {
+		w := out.W[i]
+		total += w
+		if y == 1 {
+			posMass += w
+		} else {
+			negMass += w
+		}
+	}
+	if math.Abs(posMass-negMass) > 1e-9 {
+		t.Errorf("class masses %g vs %g, want equal", posMass, negMass)
+	}
+	if math.Abs(total-float64(d.NumInstances())) > 1e-9 {
+		t.Errorf("total weight %g, want n=%d", total, d.NumInstances())
+	}
+	if d.W != nil {
+		t.Error("WeightedInstance mutated the source dataset's weights")
+	}
+}
+
+func TestApplySingleClassError(t *testing.T) {
+	d := dataset.New([]string{"x"})
+	d.Add([]float64{1}, 0)
+	for _, m := range Methods() {
+		if _, err := Apply(d, m, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%v: want error for single-class data", m)
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	want := []string{"Not Balanced", "Up Sampling", "Down Sampling", "Weighted Instance"}
+	for i, m := range Methods() {
+		if m.String() != want[i] {
+			t.Errorf("Methods()[%d] = %q, want %q", i, m.String(), want[i])
+		}
+	}
+}
+
+func TestApplyUnknownMethod(t *testing.T) {
+	if _, err := Apply(imbalanced(t), Method(99), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for unknown method")
+	}
+}

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"testing"
+
+	"telcochurn/internal/table"
+)
+
+func dayRow(t *testing.T, tb *table.Table, imsi int64, day int, dur float64) {
+	t.Helper()
+	if err := tb.AppendRow(imsi, int64(1), int64(day), dur); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func daySchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "imsi", Type: table.Int64},
+		table.Field{Name: "month", Type: table.Int64},
+		table.Field{Name: "day", Type: table.Int64},
+		table.Field{Name: "dur", Type: table.Float64},
+	)
+}
+
+func TestStageAndCompact(t *testing.T) {
+	wh := openTemp(t)
+	for day := 1; day <= 3; day++ {
+		tb := table.NewTable(daySchema())
+		dayRow(t, tb, int64(100+day), day, float64(day)*10)
+		if err := wh.StageDay("calls", 1, day, tb); err != nil {
+			t.Fatalf("stage day %d: %v", day, err)
+		}
+	}
+	days, err := wh.StagedDays("calls", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 3 || days[0] != 1 || days[2] != 3 {
+		t.Fatalf("staged days = %v", days)
+	}
+	if err := wh.CompactMonth("calls", 1); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	got, err := wh.ReadPartition("calls", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("compacted rows = %d", got.NumRows())
+	}
+	// Day order preserved.
+	daysCol := got.MustCol("day").Ints
+	for i := 1; i < len(daysCol); i++ {
+		if daysCol[i] < daysCol[i-1] {
+			t.Fatalf("compaction reordered days: %v", daysCol)
+		}
+	}
+	// Staging cleaned up.
+	if days, _ := wh.StagedDays("calls", 1); days != nil {
+		t.Errorf("staging not cleaned: %v", days)
+	}
+}
+
+func TestStageDayReplaces(t *testing.T) {
+	wh := openTemp(t)
+	a := table.NewTable(daySchema())
+	dayRow(t, a, 1, 1, 10)
+	if err := wh.StageDay("calls", 1, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	b := table.NewTable(daySchema())
+	dayRow(t, b, 2, 1, 20)
+	dayRow(t, b, 3, 1, 30)
+	if err := wh.StageDay("calls", 1, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.CompactMonth("calls", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wh.ReadPartition("calls", 1)
+	if got.NumRows() != 2 {
+		t.Errorf("re-staged day rows = %d, want 2 (replacement)", got.NumRows())
+	}
+}
+
+func TestStageSchemaMismatchRejected(t *testing.T) {
+	wh := openTemp(t)
+	a := table.NewTable(daySchema())
+	dayRow(t, a, 1, 1, 10)
+	if err := wh.StageDay("calls", 1, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	other := table.NewTable(table.MustSchema(table.Field{Name: "x", Type: table.Int64}))
+	other.AppendRow(int64(1))
+	if err := wh.StageDay("calls", 1, 2, other); err == nil {
+		t.Error("want error staging mismatched schema")
+	}
+}
+
+func TestCompactEmptyMonthFails(t *testing.T) {
+	wh := openTemp(t)
+	if err := wh.CompactMonth("calls", 1); err == nil {
+		t.Error("want error compacting an empty month")
+	}
+}

@@ -1,0 +1,384 @@
+// Package store persists table.Table values as partitioned binary columnar
+// files on local disk. It is the repository's stand-in for the paper's HDFS
+// layer (Figure 2): raw BSS/OSS tables land here partitioned by month, the
+// ETL layer reads them back for feature engineering, and intermediate
+// results (the paper's reusable Hive tables) can be cached between runs.
+//
+// Layout:
+//
+//	<root>/<tableName>/month=<n>.tct
+//
+// Each .tct (telco columnar table) file is:
+//
+//	magic "TCT1" | schema block | row count | per-column data blocks
+//
+// Integers use varint encoding; floats are fixed 8-byte little endian;
+// strings are length-prefixed. A CRC32 of everything after the magic is
+// appended so corrupt files are detected on read.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"telcochurn/internal/table"
+)
+
+const magic = "TCT1"
+
+// ErrCorrupt is returned when a file fails checksum or structural checks.
+var ErrCorrupt = errors.New("store: corrupt table file")
+
+// Warehouse is a directory of partitioned tables.
+type Warehouse struct {
+	root string
+}
+
+// Open returns a warehouse rooted at dir, creating it if needed.
+func Open(dir string) (*Warehouse, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open warehouse: %w", err)
+	}
+	return &Warehouse{root: dir}, nil
+}
+
+// Root returns the warehouse directory.
+func (w *Warehouse) Root() string { return w.root }
+
+func (w *Warehouse) partitionPath(name string, month int) string {
+	return filepath.Join(w.root, name, fmt.Sprintf("month=%d.tct", month))
+}
+
+// WritePartition stores t as partition month of the named table, replacing
+// any existing partition atomically (write temp + rename). All partitions
+// of a table must share a schema: a write whose schema differs from an
+// existing partition's is rejected, so a warehouse can never hold a table
+// that ReadMonths cannot concatenate.
+func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("store: refusing to write invalid table: %w", err)
+	}
+	if months, err := w.Months(name); err == nil && len(months) > 0 {
+		probe := months[0]
+		if probe == month && len(months) > 1 {
+			probe = months[1]
+		}
+		if probe != month {
+			existing, err := w.ReadPartition(name, probe)
+			if err == nil && !existing.Schema.Equal(t.Schema) {
+				return fmt.Errorf("store: schema mismatch for table %q: partition month=%d has %s, new partition has %s",
+					name, probe, existing.Schema, t.Schema)
+			}
+		}
+	}
+	dir := filepath.Join(w.root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := writeTable(tmp, t); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, w.partitionPath(name, month))
+}
+
+// ReadPartition loads partition month of the named table.
+func (w *Warehouse) ReadPartition(name string, month int) (*table.Table, error) {
+	f, err := os.Open(w.partitionPath(name, month))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := readTable(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s month=%d: %w", name, month, err)
+	}
+	return t, nil
+}
+
+// HasPartition reports whether the partition exists.
+func (w *Warehouse) HasPartition(name string, month int) bool {
+	_, err := os.Stat(w.partitionPath(name, month))
+	return err == nil
+}
+
+// Months lists the partition months present for the named table, ascending.
+func (w *Warehouse) Months(name string) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(w.root, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var months []int
+	for _, e := range entries {
+		base := e.Name()
+		if !strings.HasPrefix(base, "month=") || !strings.HasSuffix(base, ".tct") {
+			continue
+		}
+		m, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "month="), ".tct"))
+		if err != nil {
+			continue
+		}
+		months = append(months, m)
+	}
+	sort.Ints(months)
+	return months, nil
+}
+
+// Tables lists table names present in the warehouse.
+func (w *Warehouse) Tables() ([]string, error) {
+	entries, err := os.ReadDir(w.root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadMonths reads and concatenates the given partitions of a table, in the
+// given order. All partitions must share a schema.
+func (w *Warehouse) ReadMonths(name string, months []int) (*table.Table, error) {
+	var out *table.Table
+	for _, m := range months {
+		t, err := w.ReadPartition(name, m)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = t
+			continue
+		}
+		if err := out.AppendTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- binary encoding ----
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc.Write(p)
+	return cw.w.Write(p)
+}
+
+func writeTable(f *os.File, t *table.Table) error {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+
+	// Schema block.
+	writeUvarint(cw, uint64(t.Schema.Len()))
+	for _, field := range t.Schema.Fields {
+		writeString(cw, field.Name)
+		writeUvarint(cw, uint64(field.Type))
+	}
+	n := t.NumRows()
+	writeUvarint(cw, uint64(n))
+
+	// Column blocks.
+	var scratch [8]byte
+	for _, col := range t.Cols {
+		switch col.Type {
+		case table.Int64:
+			for _, v := range col.Ints {
+				writeVarint(cw, v)
+			}
+		case table.Float64:
+			for _, v := range col.Floats {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+				cw.Write(scratch[:])
+			}
+		case table.String:
+			for _, v := range col.Strings {
+				writeString(cw, v)
+			}
+		}
+	}
+
+	// Trailing CRC of everything after the magic.
+	binary.LittleEndian.PutUint32(scratch[:4], cw.crc.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readTable(f *os.File) (*table.Table, error) {
+	data, err := io.ReadAll(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, ErrCorrupt
+	}
+	body := data[len(magic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+
+	r := &sliceReader{b: body}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]table.Field, ncols)
+	for i := range fields {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if typ > uint64(table.String) {
+			return nil, fmt.Errorf("%w: bad column type %d", ErrCorrupt, typ)
+		}
+		fields[i] = table.Field{Name: name, Type: table.ColType(typ)}
+	}
+	schema, err := table.NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	nrows64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nrows := int(nrows64)
+
+	t := table.NewTable(schema)
+	for _, col := range t.Cols {
+		switch col.Type {
+		case table.Int64:
+			col.Ints = make([]int64, nrows)
+			for i := 0; i < nrows; i++ {
+				v, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				col.Ints[i] = v
+			}
+		case table.Float64:
+			col.Floats = make([]float64, nrows)
+			for i := 0; i < nrows; i++ {
+				raw, err := r.bytes(8)
+				if err != nil {
+					return nil, err
+				}
+				col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+			}
+		case table.String:
+			col.Strings = make([]string, nrows)
+			for i := 0; i < nrows; i++ {
+				s, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				col.Strings[i] = s
+			}
+		}
+	}
+	if r.pos != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b)-r.pos)
+	}
+	return t, nil
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w io.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *sliceReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *sliceReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *sliceReader) bytes(n int) ([]byte, error) {
+	if r.pos+n > len(r.b) {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	b := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *sliceReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,147 @@
+// Package synth generates the synthetic telco world that substitutes for the
+// paper's proprietary 9-month operator dataset (see DESIGN.md §2 and §5).
+//
+// Each month the simulator emits raw BSS records (per-call CDRs, per-message
+// records, recharges, monthly billing and demographic snapshots, complaint
+// texts) and raw OSS records (per-day packet-switch web/quality records,
+// search-query texts, measurement-report location fixes), plus a hidden
+// ground-truth table used only for labeling and retention simulation.
+//
+// The churn process is driven by the same signal families the paper reports
+// as informative — low balance, usage decline, poor network quality (CS and
+// PS KPIs), social contagion over call and co-occurrence graphs, competitor
+// search intensity — with lead-lag structure chosen so the paper's
+// qualitative results (Figures 7-9, Tables 2-7) reproduce in shape.
+package synth
+
+// Config parameterizes the synthetic world.
+type Config struct {
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// Customers is the target number of active prepaid customers per month.
+	// Churners are replaced by new entrants, keeping the population in the
+	// "dynamic balance" of Table 1.
+	Customers int
+	// Months is how many months to simulate.
+	Months int
+
+	// CommunitySize is the mean size of social communities. Call-graph edges
+	// and location co-occurrence concentrate within communities, which is
+	// what makes the graph features (F4, F6) informative.
+	CommunitySize int
+	// NeighborsPerCustomer is the mean number of distinct call partners.
+	NeighborsPerCustomer int
+
+	// CallsPerMonth is the mean number of calls for an average customer.
+	CallsPerMonth float64
+	// MessagesPerMonth is the mean number of SMS/MMS for an average
+	// customer. The paper notes SMS is moribund (OTT apps), so the message
+	// graph (F5) carries little churn signal; keep this small.
+	MessagesPerMonth float64
+	// DataDaysPerMonth is the mean number of days with mobile-data activity.
+	DataDaysPerMonth float64
+	// SearchesPerMonth is the mean number of mobile search queries.
+	SearchesPerMonth float64
+	// LocationFixesPerDay is the mean number of measurement-report fixes.
+	LocationFixesPerDay float64
+
+	// BaseChurnHazard shifts the monthly churn hazard; calibrated so the
+	// average churn rate lands near the paper's 9.2-9.4% for prepaid.
+	BaseChurnHazard float64
+
+	// Cells is the number of radio cells. Cell-level quality shocks are the
+	// root cause of quality-driven churn.
+	Cells int
+
+	// DaysPerMonth fixes the simulated month length.
+	DaysPerMonth int
+
+	// BurnInMonths is how many months to simulate and discard before month 1
+	// so latent state (dissatisfaction, cell shocks, phase mix, tenure
+	// distribution) reaches its stationary regime — Table 1's steady ~9%
+	// churn rate from the first reported month.
+	BurnInMonths int
+}
+
+// DefaultConfig returns the configuration used by tests and examples: a
+// small world (2 000 customers) that preserves the paper's rates and
+// signal structure. Experiments scale Customers up via the Scale helpers.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Customers:            2000,
+		Months:               9,
+		CommunitySize:        16,
+		NeighborsPerCustomer: 9,
+		CallsPerMonth:        22,
+		MessagesPerMonth:     6,
+		DataDaysPerMonth:     18,
+		SearchesPerMonth:     9,
+		LocationFixesPerDay:  2,
+		BaseChurnHazard:      -4.78,
+		Cells:                64,
+		DaysPerMonth:         30,
+		BurnInMonths:         8,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig so callers can set only
+// what they care about.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Customers == 0 {
+		c.Customers = d.Customers
+	}
+	if c.Months == 0 {
+		c.Months = d.Months
+	}
+	if c.CommunitySize == 0 {
+		c.CommunitySize = d.CommunitySize
+	}
+	if c.NeighborsPerCustomer == 0 {
+		c.NeighborsPerCustomer = d.NeighborsPerCustomer
+	}
+	if c.CallsPerMonth == 0 {
+		c.CallsPerMonth = d.CallsPerMonth
+	}
+	if c.MessagesPerMonth == 0 {
+		c.MessagesPerMonth = d.MessagesPerMonth
+	}
+	if c.DataDaysPerMonth == 0 {
+		c.DataDaysPerMonth = d.DataDaysPerMonth
+	}
+	if c.SearchesPerMonth == 0 {
+		c.SearchesPerMonth = d.SearchesPerMonth
+	}
+	if c.LocationFixesPerDay == 0 {
+		c.LocationFixesPerDay = d.LocationFixesPerDay
+	}
+	if c.BaseChurnHazard == 0 {
+		c.BaseChurnHazard = d.BaseChurnHazard
+	}
+	if c.Cells == 0 {
+		c.Cells = d.Cells
+	}
+	if c.DaysPerMonth == 0 {
+		c.DaysPerMonth = d.DaysPerMonth
+	}
+	if c.BurnInMonths == 0 {
+		c.BurnInMonths = d.BurnInMonths
+	}
+	return c
+}
+
+// PaperPopulation is the approximate per-month prepaid population in the
+// paper's dataset (Table 1), used to scale top-U cutoffs.
+const PaperPopulation = 2_100_000
+
+// ScaleU converts one of the paper's top-U cutoffs (e.g. 50 000) to the
+// equivalent cutoff for a simulated population of size customers, keeping
+// U / population fixed.
+func ScaleU(paperU, customers int) int {
+	u := paperU * customers / PaperPopulation
+	if u < 1 {
+		u = 1
+	}
+	return u
+}

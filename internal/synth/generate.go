@@ -1,0 +1,114 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"telcochurn/internal/store"
+	"telcochurn/internal/table"
+)
+
+// Tables returns the month's raw tables keyed by warehouse table name.
+func (md *MonthData) Tables() map[string]*table.Table {
+	return map[string]*table.Table{
+		TableCalls:      md.Calls,
+		TableMessages:   md.Messages,
+		TableRecharges:  md.Recharges,
+		TableBilling:    md.Billing,
+		TableCustomers:  md.Customers,
+		TableComplaints: md.Complaints,
+		TableWeb:        md.Web,
+		TableSearch:     md.Search,
+		TableLocations:  md.Locations,
+		TableTruth:      md.Truth,
+	}
+}
+
+// GenerateToWarehouse simulates cfg.Months months and writes every raw table
+// as month partitions into the warehouse — the equivalent of the paper's
+// daily ETL landing BSS/OSS tables in HDFS.
+func GenerateToWarehouse(cfg Config, wh *store.Warehouse) error {
+	w := NewWorld(cfg)
+	for i := 0; i < w.cfg.Months; i++ {
+		md := w.SimulateMonth()
+		for name, t := range md.Tables() {
+			if err := wh.WritePartition(name, md.Month, t); err != nil {
+				return fmt.Errorf("synth: write %s month %d: %w", name, md.Month, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ChurnRatePoint is one month of Figure 1: the churn rate for prepaid and
+// postpaid customers.
+type ChurnRatePoint struct {
+	Month    int
+	Prepaid  float64
+	Postpaid float64
+}
+
+// ChurnRateSeries reproduces Figure 1's series. The prepaid rate comes from
+// the simulated prepaid population (the labeling rule over the truth table);
+// the postpaid series is drawn around the paper's reported 5.2% average —
+// postpaid customers are contract-bound and out of the system's scope, so
+// they are summarized, not simulated per-record.
+func ChurnRateSeries(cfg Config, months int) []ChurnRatePoint {
+	cfg = cfg.withDefaults()
+	cfg.Months = months
+	w := NewWorld(cfg)
+	post := rand.New(rand.NewSource(cfg.Seed + 7))
+	points := make([]ChurnRatePoint, 0, months)
+	for i := 0; i < months; i++ {
+		md := w.SimulateMonth()
+		churn := md.Truth.MustCol("churn").Ints
+		n := len(churn)
+		c := 0
+		for _, v := range churn {
+			if v == 1 {
+				c++
+			}
+		}
+		rate := 0.0
+		if n > 0 {
+			rate = float64(c) / float64(n)
+		}
+		points = append(points, ChurnRatePoint{
+			Month:    md.Month,
+			Prepaid:  rate,
+			Postpaid: clamp(0.052+0.008*post.NormFloat64(), 0.03, 0.08),
+		})
+	}
+	return points
+}
+
+// RechargeDayCounts reproduces Figure 5's histogram: for every customer
+// observed in a recharge period across the given months, the number of days
+// until they recharged (bucket 0 = never recharged within the month, i.e.
+// the hard churners). Index i holds the count of customers who recharged
+// after i days.
+func RechargeDayCounts(months []*MonthData) []int {
+	if len(months) == 0 {
+		return nil
+	}
+	maxDay := 0
+	type obs struct{ inRecharge, day int64 }
+	var all []obs
+	for _, md := range months {
+		inR := md.Truth.MustCol("in_recharge").Ints
+		dtr := md.Truth.MustCol("days_to_recharge").Ints
+		for i := range inR {
+			if inR[i] == 1 {
+				all = append(all, obs{inR[i], dtr[i]})
+				if int(dtr[i]) > maxDay {
+					maxDay = int(dtr[i])
+				}
+			}
+		}
+	}
+	counts := make([]int, maxDay+1)
+	for _, o := range all {
+		counts[o.day]++
+	}
+	return counts
+}

@@ -1,0 +1,209 @@
+package synth
+
+import "telcochurn/internal/table"
+
+// Raw table names as stored in the warehouse. These correspond to the BSS
+// and OSS source tables of the paper's Figure 2 data layer.
+const (
+	TableCalls      = "calls"      // BSS voice CDR (per call, incl. failed attempts)
+	TableMessages   = "messages"   // BSS SMS/MMS CDR (per message)
+	TableRecharges  = "recharges"  // BSS recharge history (per recharge)
+	TableBilling    = "billing"    // BSS monthly account snapshot
+	TableCustomers  = "customers"  // BSS monthly demographic snapshot
+	TableComplaints = "complaints" // BSS complaint log (text)
+	TableWeb        = "web"        // OSS PS xDR: per customer per active day
+	TableSearch     = "search"     // OSS PS DPI: mobile search queries (text)
+	TableLocations  = "locations"  // OSS MR: measurement-report fixes
+	TableTruth      = "truth"      // hidden ground truth (labels + retention latents)
+)
+
+// Call kinds for the calls table "kind" column.
+const (
+	CallLocalInner = iota // local, peer on the same operator
+	CallLocalOuter        // local, peer on another operator
+	CallLongDist          // long-distance
+	CallRoam              // roaming
+)
+
+// Peer operators for the "peer_op" column.
+const (
+	OpSelf = iota // same operator ("inner-net")
+	OpChinaMobile
+	OpChinaTelecom
+)
+
+// Message kinds for the messages table "kind" column.
+const (
+	MsgP2P = iota
+	MsgInfo
+	MsgBilling
+	MsgService
+)
+
+// Offer identifiers for the retention system (Section 5.5's four offers).
+// OfferNone is the multi-class label for "accepts nothing".
+const (
+	OfferNone         = 0
+	OfferCashback100  = 1 // 100 cashback on recharge of 100
+	OfferCashback50   = 2 // 50 cashback on recharge of 100
+	OfferFlux500MB    = 3 // 500 MB flux on recharge of 50
+	OfferVoice200Min  = 4 // 200-minute voice on recharge of 50
+	NumOffers         = 4 // real offers, excluding OfferNone
+	NumRetentionClass = 5 // classes 0..4 incl. OfferNone
+)
+
+// IsCustomerID reports whether an ID in a peer column refers to an on-net
+// customer (as opposed to an off-net synthetic number space or a service
+// short code). Customer IMSIs are assigned from 1 000 000 upward; off-net
+// China Mobile / China Telecom numbers live at 5 000 000 / 6 000 000.
+func IsCustomerID(id int64) bool { return id >= 1_000_000 && id < 5_000_000 }
+
+// CallsSchema describes the per-call CDR table.
+var CallsSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "peer", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "dur", Type: table.Float64}, // seconds, 0 for failed attempts
+	table.Field{Name: "kind", Type: table.Int64},  // CallLocalInner..CallRoam
+	table.Field{Name: "mo", Type: table.Int64},    // 1 = mobile-originated (caller)
+	table.Field{Name: "peer_op", Type: table.Int64},
+	table.Field{Name: "success", Type: table.Int64}, // alerting reached
+	table.Field{Name: "dropped", Type: table.Int64}, // dropped after answer
+	table.Field{Name: "conn_delay", Type: table.Float64},
+	table.Field{Name: "mos_ul", Type: table.Float64}, // uplink voice MOS
+	table.Field{Name: "mos_dl", Type: table.Float64}, // downlink voice MOS
+	table.Field{Name: "mos_ip", Type: table.Float64}, // IP MOS
+	table.Field{Name: "oneway", Type: table.Int64},   // one-way-audio event
+	table.Field{Name: "noise", Type: table.Int64},    // noise event
+	table.Field{Name: "echo", Type: table.Int64},     // echo event
+	table.Field{Name: "busy", Type: table.Int64},     // placed in busy hours
+	table.Field{Name: "fest", Type: table.Int64},     // placed on festival days
+	table.Field{Name: "free", Type: table.Int64},     // free (in-package) call
+	table.Field{Name: "gift", Type: table.Int64},     // gift-quota call
+	table.Field{Name: "svc", Type: table.Int64},      // call to 10010 service line
+	table.Field{Name: "manual", Type: table.Int64},
+)
+
+// MessagesSchema describes the per-message table.
+var MessagesSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "peer", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "kind", Type: table.Int64}, // MsgP2P..MsgService
+	table.Field{Name: "mo", Type: table.Int64},
+	table.Field{Name: "mms", Type: table.Int64},
+	table.Field{Name: "peer_op", Type: table.Int64},
+	table.Field{Name: "roam_int", Type: table.Int64},
+	table.Field{Name: "gift", Type: table.Int64},
+)
+
+// RechargesSchema describes the recharge-event table.
+var RechargesSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "amount", Type: table.Float64},
+)
+
+// BillingSchema describes the monthly account snapshot.
+var BillingSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "balance", Type: table.Float64},
+	table.Field{Name: "total_charge", Type: table.Float64},
+	table.Field{Name: "recharge_value", Type: table.Float64},
+	table.Field{Name: "balance_rate", Type: table.Float64}, // recharge / balance
+	table.Field{Name: "gprs_flux", Type: table.Float64},
+	table.Field{Name: "gprs_charge", Type: table.Float64},
+	table.Field{Name: "sms_charge", Type: table.Float64},
+	table.Field{Name: "gift_flux", Type: table.Float64},
+	table.Field{Name: "gift_voice_dur", Type: table.Float64},
+	table.Field{Name: "gift_sms_cnt", Type: table.Int64},
+)
+
+// CustomersSchema describes the monthly demographic snapshot.
+var CustomersSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "age", Type: table.Int64},
+	table.Field{Name: "gender", Type: table.Int64},
+	table.Field{Name: "pspt_type", Type: table.Int64},
+	table.Field{Name: "is_shanghai", Type: table.Int64},
+	table.Field{Name: "town_id", Type: table.Int64},
+	table.Field{Name: "sale_id", Type: table.Int64},
+	table.Field{Name: "product_id", Type: table.Int64},
+	table.Field{Name: "product_price", Type: table.Float64},
+	table.Field{Name: "product_knd", Type: table.Int64},
+	table.Field{Name: "credit_value", Type: table.Float64},
+	table.Field{Name: "innet_dura", Type: table.Int64}, // months in net
+)
+
+// ComplaintsSchema describes the complaint log.
+var ComplaintsSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "text", Type: table.String},
+)
+
+// WebSchema describes the OSS packet-switch per-customer-per-day record
+// (UFDR/TDR-style aggregates with PS KPI/KQI counters).
+var WebSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "page_req", Type: table.Int64},     // first GET requests
+	table.Field{Name: "page_succ", Type: table.Int64},    // first GET successes
+	table.Field{Name: "resp_delay", Type: table.Float64}, // page response delay, s
+	table.Field{Name: "browse_succ", Type: table.Int64},  // page browsing successes
+	table.Field{Name: "browse_delay", Type: table.Float64},
+	table.Field{Name: "dl_tp", Type: table.Float64}, // download throughput, kbps
+	table.Field{Name: "ul_tp", Type: table.Float64},
+	table.Field{Name: "flux", Type: table.Float64},    // MB
+	table.Field{Name: "tcp_rtt", Type: table.Float64}, // ms
+	table.Field{Name: "tcp_ok", Type: table.Int64},
+	table.Field{Name: "tcp_att", Type: table.Int64},
+	table.Field{Name: "stream_size", Type: table.Float64},
+	table.Field{Name: "stream_pkts", Type: table.Float64},
+	table.Field{Name: "email_cnt", Type: table.Int64},
+	table.Field{Name: "email_ok", Type: table.Int64},
+	table.Field{Name: "page_size", Type: table.Float64},
+)
+
+// SearchSchema describes the search-query log (from DPI probes).
+var SearchSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "text", Type: table.String},
+)
+
+// LocationsSchema describes measurement-report location fixes. lat/lon are
+// the cell-site coordinates; slot is a coarse time-of-day bucket (0..2) used
+// to define the spatiotemporal co-occurrence cube.
+var LocationsSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "day", Type: table.Int64},
+	table.Field{Name: "slot", Type: table.Int64},
+	table.Field{Name: "cell", Type: table.Int64},
+	table.Field{Name: "lac", Type: table.Int64},
+	table.Field{Name: "lat", Type: table.Float64},
+	table.Field{Name: "lon", Type: table.Float64},
+)
+
+// TruthSchema is the hidden ground-truth table. Only the labeling layer
+// (churn column, Section 5's 15-day rule already applied) and the retention
+// simulator read it; features never do.
+var TruthSchema = table.MustSchema(
+	table.Field{Name: "imsi", Type: table.Int64},
+	table.Field{Name: "month", Type: table.Int64},
+	table.Field{Name: "churn", Type: table.Int64},            // labeled churner this month
+	table.Field{Name: "in_recharge", Type: table.Int64},      // entered recharge period
+	table.Field{Name: "days_to_recharge", Type: table.Int64}, // 0 if never recharged
+	table.Field{Name: "decided", Type: table.Int64},          // true behavioral churn
+	table.Field{Name: "best_offer", Type: table.Int64},       // latent best retention offer
+	table.Field{Name: "retain_base", Type: table.Float64},    // latent retainability in [0,1]
+)

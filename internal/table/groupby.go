@@ -1,0 +1,228 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggFunc enumerates the aggregation functions supported by GroupBy. These
+// cover the monthly summarizations the paper's feature engineering performs
+// (total call duration, call counts, average throughput, max balance, ...).
+type AggFunc int
+
+const (
+	// Sum totals the column (Int64 or Float64).
+	Sum AggFunc = iota
+	// Count counts rows in the group; the source column is ignored.
+	Count
+	// Mean averages the column.
+	Mean
+	// Min takes the minimum.
+	Min
+	// Max takes the maximum.
+	Max
+	// First takes the group's first value in row order (for columns that are
+	// constant within a group, e.g. demographics keyed by customer).
+	First
+	// CountDistinct counts distinct values in the column.
+	CountDistinct
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Mean:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case First:
+		return "FIRST"
+	case CountDistinct:
+		return "COUNT_DISTINCT"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(a))
+	}
+}
+
+// Agg is one aggregation: apply Func to column Col, emit it as column As.
+type Agg struct {
+	Col  string
+	Func AggFunc
+	As   string
+}
+
+// GroupBy groups t by the Int64 key column and computes the aggregations.
+// The result has the key column first, then one Float64 column per Agg
+// (First on a String column yields a String column), ordered by ascending
+// key for determinism.
+func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
+	ki := t.Schema.Index(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("table: group-by unknown key %q", key)
+	}
+	if t.Schema.Fields[ki].Type != Int64 {
+		return nil, fmt.Errorf("table: group-by key %q must be BIGINT", key)
+	}
+
+	type colRef struct {
+		col *Column
+	}
+	refs := make([]colRef, len(aggs))
+	fields := []Field{{Name: key, Type: Int64}}
+	for i, a := range aggs {
+		if a.As == "" {
+			return nil, fmt.Errorf("table: aggregation %d has empty output name", i)
+		}
+		outType := Float64
+		if a.Func == Count {
+			refs[i] = colRef{nil}
+		} else {
+			ci := t.Schema.Index(a.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("table: aggregation on unknown column %q", a.Col)
+			}
+			c := t.Cols[ci]
+			if a.Func == First && c.Type == String {
+				outType = String
+			} else if a.Func == First && c.Type == Int64 {
+				outType = Int64
+			} else if c.Type == String && a.Func != CountDistinct {
+				return nil, fmt.Errorf("table: %s on string column %q", a.Func, a.Col)
+			}
+			refs[i] = colRef{c}
+		}
+		fields = append(fields, Field{Name: a.As, Type: outType})
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bucket row indices by key.
+	keys := t.Cols[ki].Ints
+	groups := make(map[int64][]int)
+	order := make([]int64, 0)
+	for i, k := range keys {
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	out := NewTable(schema)
+	for _, k := range order {
+		rows := groups[k]
+		out.Cols[0].AppendInt(k)
+		for ai, a := range aggs {
+			dst := out.Cols[ai+1]
+			src := refs[ai].col
+			switch a.Func {
+			case Count:
+				dst.AppendFloat(float64(len(rows)))
+			case First:
+				dst.appendFrom(src, rows[0])
+			case CountDistinct:
+				dst.AppendFloat(float64(countDistinct(src, rows)))
+			case Sum:
+				s := 0.0
+				for _, r := range rows {
+					s += src.Float(r)
+				}
+				dst.AppendFloat(s)
+			case Mean:
+				s := 0.0
+				for _, r := range rows {
+					s += src.Float(r)
+				}
+				dst.AppendFloat(s / float64(len(rows)))
+			case Min:
+				m := math.Inf(1)
+				for _, r := range rows {
+					if v := src.Float(r); v < m {
+						m = v
+					}
+				}
+				dst.AppendFloat(m)
+			case Max:
+				m := math.Inf(-1)
+				for _, r := range rows {
+					if v := src.Float(r); v > m {
+						m = v
+					}
+				}
+				dst.AppendFloat(m)
+			default:
+				return nil, fmt.Errorf("table: unsupported aggregation %v", a.Func)
+			}
+		}
+	}
+	return out, nil
+}
+
+func countDistinct(c *Column, rows []int) int {
+	switch c.Type {
+	case Int64:
+		seen := make(map[int64]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Ints[r]] = struct{}{}
+		}
+		return len(seen)
+	case Float64:
+		seen := make(map[float64]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Floats[r]] = struct{}{}
+		}
+		return len(seen)
+	default:
+		seen := make(map[string]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Strings[r]] = struct{}{}
+		}
+		return len(seen)
+	}
+}
+
+// SortByInt returns a new table sorted ascending by the named Int64 column
+// (stable, so prior order breaks ties deterministically).
+func SortByInt(t *Table, key string) (*Table, error) {
+	ki := t.Schema.Index(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("table: sort by unknown column %q", key)
+	}
+	if t.Schema.Fields[ki].Type != Int64 {
+		return nil, fmt.Errorf("table: sort key %q must be BIGINT", key)
+	}
+	idx := make([]int, t.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	keys := t.Cols[ki].Ints
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	return t.Take(idx), nil
+}
+
+// SortByFloatDesc returns a new table sorted descending by the named Float64
+// column (stable). Used to rank customers by churn likelihood.
+func SortByFloatDesc(t *Table, key string) (*Table, error) {
+	ki := t.Schema.Index(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("table: sort by unknown column %q", key)
+	}
+	if t.Schema.Fields[ki].Type != Float64 {
+		return nil, fmt.Errorf("table: sort key %q must be DOUBLE", key)
+	}
+	idx := make([]int, t.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	keys := t.Cols[ki].Floats
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] > keys[idx[b]] })
+	return t.Take(idx), nil
+}

@@ -1,0 +1,100 @@
+package table
+
+import (
+	"fmt"
+)
+
+// JoinKind selects the join semantics.
+type JoinKind int
+
+const (
+	// InnerJoin keeps only rows with a match on both sides.
+	InnerJoin JoinKind = iota
+	// LeftJoin keeps every left row; unmatched right columns get zero values
+	// (0, 0.0, "") — the engine has no NULL, matching how the paper's wide
+	// table treats absent activity as zero usage.
+	LeftJoin
+)
+
+// HashJoin joins left and right on equality of the named Int64 key column,
+// which must exist on both sides (e.g. IMSI, the paper's universal join
+// key). The result schema is left's fields followed by right's fields minus
+// the key. Right-side columns whose names collide with left-side names are
+// suffixed "_r".
+//
+// The right side is hashed; rows stream from the left, so put the smaller
+// table on the right. Right-side duplicates multiply, as in SQL.
+func HashJoin(left, right *Table, key string, kind JoinKind) (*Table, error) {
+	lk := left.Schema.Index(key)
+	rk := right.Schema.Index(key)
+	if lk < 0 || rk < 0 {
+		return nil, fmt.Errorf("table: join key %q missing (left=%v right=%v)", key, lk >= 0, rk >= 0)
+	}
+	if left.Schema.Fields[lk].Type != Int64 || right.Schema.Fields[rk].Type != Int64 {
+		return nil, fmt.Errorf("table: join key %q must be BIGINT on both sides", key)
+	}
+
+	// Output schema: all left fields, then right fields except the key.
+	fields := append([]Field(nil), left.Schema.Fields...)
+	rightOut := make([]int, 0, right.Schema.Len()-1) // right column indices emitted
+	for i, f := range right.Schema.Fields {
+		if i == rk {
+			continue
+		}
+		name := f.Name
+		if left.Schema.Has(name) {
+			name += "_r"
+		}
+		fields = append(fields, Field{Name: name, Type: f.Type})
+		rightOut = append(rightOut, i)
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(schema)
+
+	// Build hash table over right keys.
+	rightKeys := right.Cols[rk].Ints
+	index := make(map[int64][]int, len(rightKeys))
+	for i, k := range rightKeys {
+		index[k] = append(index[k], i)
+	}
+
+	leftKeys := left.Cols[lk].Ints
+	nl := left.Schema.Len()
+	for i, k := range leftKeys {
+		matches := index[k]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				for c := 0; c < nl; c++ {
+					out.Cols[c].appendFrom(left.Cols[c], i)
+				}
+				for j, rc := range rightOut {
+					appendZero(out.Cols[nl+j], right.Cols[rc].Type)
+				}
+			}
+			continue
+		}
+		for _, m := range matches {
+			for c := 0; c < nl; c++ {
+				out.Cols[c].appendFrom(left.Cols[c], i)
+			}
+			for j, rc := range rightOut {
+				out.Cols[nl+j].appendFrom(right.Cols[rc], m)
+			}
+		}
+	}
+	return out, nil
+}
+
+func appendZero(c *Column, t ColType) {
+	switch t {
+	case Int64:
+		c.AppendInt(0)
+	case Float64:
+		c.AppendFloat(0)
+	default:
+		c.AppendString("")
+	}
+}

@@ -1,0 +1,275 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// Column is a typed dense column vector. Exactly one of the three slices is
+// non-nil, matching the column's declared type.
+type Column struct {
+	Type    ColType
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t ColType) *Column { return &Column{Type: t} }
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int64:
+		return len(c.Ints)
+	case Float64:
+		return len(c.Floats)
+	default:
+		return len(c.Strings)
+	}
+}
+
+// AppendInt appends an int64 value; the column must be Int64.
+func (c *Column) AppendInt(v int64) { c.Ints = append(c.Ints, v) }
+
+// AppendFloat appends a float64 value; the column must be Float64.
+func (c *Column) AppendFloat(v float64) { c.Floats = append(c.Floats, v) }
+
+// AppendString appends a string value; the column must be String.
+func (c *Column) AppendString(v string) { c.Strings = append(c.Strings, v) }
+
+// appendFrom appends value at row i of src (same type) onto c.
+func (c *Column) appendFrom(src *Column, i int) {
+	switch c.Type {
+	case Int64:
+		c.Ints = append(c.Ints, src.Ints[i])
+	case Float64:
+		c.Floats = append(c.Floats, src.Floats[i])
+	default:
+		c.Strings = append(c.Strings, src.Strings[i])
+	}
+}
+
+// Float returns row i of the column coerced to float64 (Int64 columns are
+// converted; String columns return NaN).
+func (c *Column) Float(i int) float64 {
+	switch c.Type {
+	case Int64:
+		return float64(c.Ints[i])
+	case Float64:
+		return c.Floats[i]
+	default:
+		return math.NaN()
+	}
+}
+
+// Table is a columnar table: a schema plus one column vector per field, all
+// of equal length.
+type Table struct {
+	Schema *Schema
+	Cols   []*Column
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s *Schema) *Table {
+	t := &Table{Schema: s, Cols: make([]*Column, s.Len())}
+	for i, f := range s.Fields {
+		t.Cols[i] = NewColumn(f.Type)
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Col returns the named column, or nil if absent.
+func (t *Table) Col(name string) *Column {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	return t.Cols[i]
+}
+
+// MustCol returns the named column, panicking if absent. Use for statically
+// known pipeline columns where absence is a programming error.
+func (t *Table) MustCol(name string) *Column {
+	c := t.Col(name)
+	if c == nil {
+		panic(fmt.Sprintf("table: no column %q in schema %s", name, t.Schema))
+	}
+	return c
+}
+
+// AppendRow appends one row given values in schema order. Each value must be
+// int64, float64 or string matching the column type; int values are accepted
+// for Int64 columns and converted.
+func (t *Table) AppendRow(values ...any) error {
+	if len(values) != t.Schema.Len() {
+		return fmt.Errorf("table: AppendRow got %d values, schema has %d columns", len(values), t.Schema.Len())
+	}
+	for i, v := range values {
+		col := t.Cols[i]
+		switch col.Type {
+		case Int64:
+			switch x := v.(type) {
+			case int64:
+				col.AppendInt(x)
+			case int:
+				col.AppendInt(int64(x))
+			default:
+				return fmt.Errorf("table: column %q wants int64, got %T", t.Schema.Fields[i].Name, v)
+			}
+		case Float64:
+			switch x := v.(type) {
+			case float64:
+				col.AppendFloat(x)
+			case int:
+				col.AppendFloat(float64(x))
+			case int64:
+				col.AppendFloat(float64(x))
+			default:
+				return fmt.Errorf("table: column %q wants float64, got %T", t.Schema.Fields[i].Name, v)
+			}
+		case String:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("table: column %q wants string, got %T", t.Schema.Fields[i].Name, v)
+			}
+			col.AppendString(x)
+		}
+	}
+	return nil
+}
+
+// appendRowFrom appends row i of src (same schema) to t.
+func (t *Table) appendRowFrom(src *Table, i int) {
+	for c := range t.Cols {
+		t.Cols[c].appendFrom(src.Cols[c], i)
+	}
+}
+
+// Validate checks that all columns have equal length and types matching the
+// schema.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for i, c := range t.Cols {
+		if c.Type != t.Schema.Fields[i].Type {
+			return fmt.Errorf("table: column %q type %v does not match schema %v",
+				t.Schema.Fields[i].Name, c.Type, t.Schema.Fields[i].Type)
+		}
+		if c.Len() != n {
+			return fmt.Errorf("table: column %q has %d rows, want %d", t.Schema.Fields[i].Name, c.Len(), n)
+		}
+	}
+	return nil
+}
+
+// Row materializes row i as a slice of any (for debugging and tests; the
+// pipeline itself works columnar).
+func (t *Table) Row(i int) []any {
+	row := make([]any, len(t.Cols))
+	for c, col := range t.Cols {
+		switch col.Type {
+		case Int64:
+			row[c] = col.Ints[i]
+		case Float64:
+			row[c] = col.Floats[i]
+		default:
+			row[c] = col.Strings[i]
+		}
+	}
+	return row
+}
+
+// Select returns a new table with only the named columns, in the given
+// order. Column data is shared, not copied.
+func (t *Table) Select(names ...string) (*Table, error) {
+	fields := make([]Field, len(names))
+	cols := make([]*Column, len(names))
+	for i, name := range names {
+		idx := t.Schema.Index(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("table: select unknown column %q", name)
+		}
+		fields[i] = t.Schema.Fields[idx]
+		cols[i] = t.Cols[idx]
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Schema: schema, Cols: cols}, nil
+}
+
+// Filter returns a new table containing the rows for which keep returns
+// true. keep receives the row index and reads values through the table's
+// columns.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	out := NewTable(t.Schema)
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			out.appendRowFrom(t, i)
+		}
+	}
+	return out
+}
+
+// Take returns a new table with the rows at the given indices, in order.
+func (t *Table) Take(indices []int) *Table {
+	out := NewTable(t.Schema)
+	for _, i := range indices {
+		out.appendRowFrom(t, i)
+	}
+	return out
+}
+
+// AppendTable appends all rows of src, whose schema must equal t's.
+func (t *Table) AppendTable(src *Table) error {
+	if !t.Schema.Equal(src.Schema) {
+		return fmt.Errorf("table: append schema mismatch: %s vs %s", t.Schema, src.Schema)
+	}
+	n := src.NumRows()
+	for i := 0; i < n; i++ {
+		t.appendRowFrom(src, i)
+	}
+	return nil
+}
+
+// RenameColumn returns a table with one column renamed (data shared).
+func (t *Table) RenameColumn(old, new string) (*Table, error) {
+	idx := t.Schema.Index(old)
+	if idx < 0 {
+		return nil, fmt.Errorf("table: rename unknown column %q", old)
+	}
+	fields := append([]Field(nil), t.Schema.Fields...)
+	fields[idx].Name = new
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Schema: schema, Cols: t.Cols}, nil
+}
+
+// WithColumn returns a table extended by one computed Float64 column whose
+// value for each row is produced by fn. Existing column data is shared.
+func (t *Table) WithColumn(name string, fn func(row int) float64) (*Table, error) {
+	fields := append(append([]Field(nil), t.Schema.Fields...), Field{Name: name, Type: Float64})
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	col := NewColumn(Float64)
+	n := t.NumRows()
+	col.Floats = make([]float64, n)
+	for i := 0; i < n; i++ {
+		col.Floats[i] = fn(i)
+	}
+	return &Table{Schema: schema, Cols: append(append([]*Column(nil), t.Cols...), col)}, nil
+}

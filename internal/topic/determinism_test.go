@@ -1,0 +1,60 @@
+package topic
+
+import (
+	"testing"
+)
+
+func TestFitDeterministic(t *testing.T) {
+	build := func() *Model {
+		c, _ := twoTopicCorpus(30, 11)
+		m, err := Fit(c, Config{K: 2, Iters: 15, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	for d := range a.Theta {
+		for k := range a.Theta[d] {
+			if a.Theta[d][k] != b.Theta[d][k] {
+				t.Fatal("same-seed LDA fits differ")
+			}
+		}
+	}
+}
+
+func TestSingleWordDocuments(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc(1, "alpha")
+	c.AddDoc(2, "beta")
+	c.AddDoc(3, "alpha")
+	m, err := Fit(c, Config{K: 2, Iters: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Theta) != 3 {
+		t.Fatalf("theta rows = %d", len(m.Theta))
+	}
+	// Documents 1 and 3 are identical; their topic mixtures must agree
+	// closely (same sufficient statistics).
+	for k := range m.Theta[0] {
+		diff := m.Theta[0][k] - m.Theta[2][k]
+		if diff > 0.05 || diff < -0.05 {
+			t.Errorf("identical docs diverge: %v vs %v", m.Theta[0], m.Theta[2])
+		}
+	}
+}
+
+func TestEmptyTextDocument(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc(1, "word another word")
+	c.AddDoc(2, "") // customer with a complaint record but empty text
+	m, err := Fit(c, Config{K: 2, Iters: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty document's theta is the prior: uniform.
+	if m.Theta[1][0] != m.Theta[1][1] {
+		t.Errorf("empty doc theta = %v, want uniform", m.Theta[1])
+	}
+}

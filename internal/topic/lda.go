@@ -1,0 +1,309 @@
+// Package topic implements latent Dirichlet allocation trained by the
+// synchronous belief-propagation updates of Zeng et al. (the paper's
+// Section 4.1.3 choice), producing the compact K-dimensional document-topic
+// features θ the wide table uses for complaint and search texts (F7, F8).
+package topic
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Corpus is a bag-of-words corpus over an integer-indexed vocabulary.
+type Corpus struct {
+	vocab []string
+	index map[string]int
+	docs  []doc
+	ids   []int64
+}
+
+type doc struct {
+	words  []int // vocabulary indices
+	counts []float64
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{index: make(map[string]int)}
+}
+
+// AddDoc adds a document (e.g. one customer-month of search text) under the
+// given ID; text is whitespace-tokenized. Repeated AddDoc calls with the
+// same ID create separate documents — callers should aggregate first.
+func (c *Corpus) AddDoc(id int64, text string) {
+	tokens := strings.Fields(text)
+	counts := make(map[int]float64)
+	for _, tok := range tokens {
+		w, ok := c.index[tok]
+		if !ok {
+			w = len(c.vocab)
+			c.index[tok] = w
+			c.vocab = append(c.vocab, tok)
+		}
+		counts[w]++
+	}
+	d := doc{}
+	words := make([]int, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Ints(words)
+	for _, w := range words {
+		d.words = append(d.words, w)
+		d.counts = append(d.counts, counts[w])
+	}
+	c.docs = append(c.docs, d)
+	c.ids = append(c.ids, id)
+}
+
+// NumDocs returns the document count.
+func (c *Corpus) NumDocs() int { return len(c.docs) }
+
+// VocabSize returns the vocabulary size.
+func (c *Corpus) VocabSize() int { return len(c.vocab) }
+
+// IDs returns the document IDs in insertion order (shared slice).
+func (c *Corpus) IDs() []int64 { return c.ids }
+
+// Vocab returns the vocabulary (shared slice).
+func (c *Corpus) Vocab() []string { return c.vocab }
+
+// Config holds LDA hyperparameters. The paper uses K=10 topics with fixed
+// symmetric Dirichlet priors.
+type Config struct {
+	// K is the topic count (paper: 10).
+	K int
+	// Alpha is the symmetric document-topic prior (default 1/K — customer
+	// documents are short, so a sparse prior keeps topic features peaked;
+	// the classic 50/K would flatten a 20-word document to near-uniform).
+	Alpha float64
+	// Beta is the symmetric topic-word prior (default 0.01).
+	Beta float64
+	// Iters is the number of BP sweeps (default 50).
+	Iters int
+	// Seed initializes the messages.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.0 / float64(c.K)
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iters == 0 {
+		c.Iters = 50
+	}
+	return c
+}
+
+// Model is a trained LDA model.
+type Model struct {
+	cfg Config
+	// Theta[d][k] is the document-topic distribution (the feature vector).
+	Theta [][]float64
+	// Phi[k][w] is the topic-word distribution.
+	Phi [][]float64
+	// nw[k][w], nk[k]: sufficient statistics kept for fold-in.
+	vocabIndex map[string]int
+}
+
+// Fit runs synchronous belief propagation (CVB0-style) on the corpus,
+// maximizing the posterior of Eq. (2).
+func Fit(c *Corpus, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	D, W, K := c.NumDocs(), c.VocabSize(), cfg.K
+	if D == 0 || W == 0 {
+		return nil, errors.New("topic: empty corpus")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Messages mu[d][j][k] for each nonzero (word j of doc d).
+	mu := make([][][]float64, D)
+	nd := make([][]float64, D) // per-doc topic mass
+	nw := make([][]float64, K) // per-topic word mass
+	nk := make([]float64, K)   // per-topic total mass
+	for k := 0; k < K; k++ {
+		nw[k] = make([]float64, W)
+	}
+	for d := range c.docs {
+		dd := &c.docs[d]
+		mu[d] = make([][]float64, len(dd.words))
+		nd[d] = make([]float64, K)
+		for j := range dd.words {
+			msg := make([]float64, K)
+			total := 0.0
+			for k := range msg {
+				msg[k] = 0.5 + rng.Float64()
+				total += msg[k]
+			}
+			for k := range msg {
+				msg[k] /= total
+			}
+			mu[d][j] = msg
+			cnt := dd.counts[j]
+			w := dd.words[j]
+			for k := range msg {
+				nd[d][k] += cnt * msg[k]
+				nw[k][w] += cnt * msg[k]
+				nk[k] += cnt * msg[k]
+			}
+		}
+	}
+
+	alpha, beta := cfg.Alpha, cfg.Beta
+	wBeta := float64(W) * beta
+	newMsg := make([]float64, K)
+	for iter := 0; iter < cfg.Iters; iter++ {
+		for d := range c.docs {
+			dd := &c.docs[d]
+			for j, w := range dd.words {
+				cnt := dd.counts[j]
+				old := mu[d][j]
+				// Exclude this entry's own mass (the "-wd" terms).
+				total := 0.0
+				for k := 0; k < K; k++ {
+					ndk := nd[d][k] - cnt*old[k]
+					nwk := nw[k][w] - cnt*old[k]
+					nkk := nk[k] - cnt*old[k]
+					if ndk < 0 {
+						ndk = 0
+					}
+					if nwk < 0 {
+						nwk = 0
+					}
+					if nkk < 0 {
+						nkk = 0
+					}
+					v := (ndk + alpha) * (nwk + beta) / (nkk + wBeta)
+					newMsg[k] = v
+					total += v
+				}
+				for k := 0; k < K; k++ {
+					nm := newMsg[k] / total
+					delta := cnt * (nm - old[k])
+					nd[d][k] += delta
+					nw[k][w] += delta
+					nk[k] += delta
+					old[k] = nm
+				}
+			}
+		}
+	}
+
+	m := &Model{cfg: cfg, vocabIndex: c.index}
+	m.Theta = make([][]float64, D)
+	for d := range c.docs {
+		m.Theta[d] = distWithPrior(nd[d], alpha)
+	}
+	m.Phi = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		m.Phi[k] = distWithPrior(nw[k], beta)
+	}
+	return m, nil
+}
+
+func distWithPrior(mass []float64, prior float64) []float64 {
+	out := make([]float64, len(mass))
+	total := 0.0
+	for _, v := range mass {
+		total += v + prior
+	}
+	for i, v := range mass {
+		out[i] = (v + prior) / total
+	}
+	return out
+}
+
+// FoldIn infers the topic distribution θ for an unseen document given the
+// trained Phi (word distributions fixed), used to featurize test-month
+// customers without refitting.
+func (m *Model) FoldIn(text string, iters int) []float64 {
+	if iters <= 0 {
+		iters = 20
+	}
+	K := m.cfg.K
+	counts := make(map[int]float64)
+	for _, tok := range strings.Fields(text) {
+		if w, ok := m.vocabIndex[tok]; ok {
+			counts[w]++
+		}
+	}
+	theta := make([]float64, K)
+	for k := range theta {
+		theta[k] = 1.0 / float64(K)
+	}
+	if len(counts) == 0 {
+		return theta
+	}
+	words := make([]int, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Ints(words)
+
+	nd := make([]float64, K)
+	msg := make([]float64, K)
+	post := make(map[int][]float64, len(words))
+	for _, w := range words {
+		p := make([]float64, K)
+		for k := range p {
+			p[k] = 1.0 / float64(K)
+			nd[k] += counts[w] / float64(K)
+		}
+		post[w] = p
+	}
+	for it := 0; it < iters; it++ {
+		for _, w := range words {
+			cnt := counts[w]
+			old := post[w]
+			total := 0.0
+			for k := 0; k < K; k++ {
+				ndk := nd[k] - cnt*old[k]
+				if ndk < 0 {
+					ndk = 0
+				}
+				v := (ndk + m.cfg.Alpha) * m.Phi[k][w]
+				msg[k] = v
+				total += v
+			}
+			for k := 0; k < K; k++ {
+				nm := msg[k] / total
+				nd[k] += cnt * (nm - old[k])
+				old[k] = nm
+			}
+		}
+	}
+	return distWithPrior(nd, m.cfg.Alpha)
+}
+
+// TopWords returns the n highest-probability words of topic k, for
+// inspection and tests.
+func (m *Model) TopWords(c *Corpus, k, n int) []string {
+	type wp struct {
+		w int
+		p float64
+	}
+	ws := make([]wp, len(m.Phi[k]))
+	for w, p := range m.Phi[k] {
+		ws[w] = wp{w, p}
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a].p > ws[b].p })
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.vocab[ws[i].w]
+	}
+	return out
+}
+
+// K returns the trained topic count.
+func (m *Model) K() int { return m.cfg.K }

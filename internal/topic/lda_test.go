@@ -1,0 +1,174 @@
+package topic
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// twoTopicCorpus builds documents drawn purely from one of two disjoint
+// vocabularies, so a 2-topic LDA must separate them.
+func twoTopicCorpus(docs int, seed int64) (*Corpus, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	vocabA := []string{"signal", "drop", "slow", "coverage", "outage"}
+	vocabB := []string{"bill", "charge", "refund", "fee", "payment"}
+	c := NewCorpus()
+	truth := make([]int, docs)
+	for d := 0; d < docs; d++ {
+		src := vocabA
+		if d%2 == 1 {
+			src = vocabB
+			truth[d] = 1
+		}
+		words := make([]string, 12)
+		for i := range words {
+			words[i] = src[rng.Intn(len(src))]
+		}
+		c.AddDoc(int64(d), strings.Join(words, " "))
+	}
+	return c, truth
+}
+
+func TestCorpusBuilding(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc(1, "a b a")
+	c.AddDoc(2, "b c")
+	if c.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", c.NumDocs())
+	}
+	if c.VocabSize() != 3 {
+		t.Errorf("VocabSize = %d", c.VocabSize())
+	}
+	if ids := c.IDs(); ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestFitEmptyCorpus(t *testing.T) {
+	if _, err := Fit(NewCorpus(), Config{K: 2}); err == nil {
+		t.Error("want error for empty corpus")
+	}
+}
+
+func TestThetaPhiAreDistributions(t *testing.T) {
+	c, _ := twoTopicCorpus(40, 1)
+	m, err := Fit(c, Config{K: 3, Iters: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, theta := range m.Theta {
+		sum := 0.0
+		for _, v := range theta {
+			if v < 0 {
+				t.Fatalf("negative theta in doc %d", d)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("theta[%d] sums to %g", d, sum)
+		}
+	}
+	for k, phi := range m.Phi {
+		sum := 0.0
+		for _, v := range phi {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("phi[%d] sums to %g", k, sum)
+		}
+	}
+}
+
+func TestLDASeparatesDisjointTopics(t *testing.T) {
+	c, truth := twoTopicCorpus(80, 2)
+	m, err := Fit(c, Config{K: 2, Iters: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each document should be dominated (>90%) by a single topic, and the
+	// dominant topic must agree with the ground-truth split up to label
+	// permutation.
+	assign := make([]int, len(m.Theta))
+	for d, theta := range m.Theta {
+		if theta[0] < 0.9 && theta[1] < 0.9 {
+			t.Fatalf("doc %d not dominated by a topic: %v", d, theta)
+		}
+		if theta[1] > theta[0] {
+			assign[d] = 1
+		}
+	}
+	agree := 0
+	for d := range assign {
+		if assign[d] == truth[d] {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(assign))
+	if acc < 0.5 {
+		acc = 1 - acc // label permutation
+	}
+	if acc < 0.95 {
+		t.Errorf("topic assignment accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestTopWordsMatchTopics(t *testing.T) {
+	c, _ := twoTopicCorpus(80, 4)
+	m, err := Fit(c, Config{K: 2, Iters: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netWords := map[string]bool{"signal": true, "drop": true, "slow": true, "coverage": true, "outage": true}
+	for k := 0; k < 2; k++ {
+		top := m.TopWords(c, k, 5)
+		inNet := 0
+		for _, w := range top {
+			if netWords[w] {
+				inNet++
+			}
+		}
+		if inNet != 0 && inNet != 5 {
+			t.Errorf("topic %d top words mix vocabularies: %v", k, top)
+		}
+	}
+}
+
+func TestFoldInMatchesTraining(t *testing.T) {
+	c, _ := twoTopicCorpus(80, 6)
+	m, err := Fit(c, Config{K: 2, Iters: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.FoldIn("signal drop slow coverage outage signal drop", 30)
+	// Must be heavily one topic — the network one.
+	if theta[0] < 0.85 && theta[1] < 0.85 {
+		t.Errorf("fold-in theta not peaked: %v", theta)
+	}
+	sum := theta[0] + theta[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fold-in theta sums to %g", sum)
+	}
+}
+
+func TestFoldInUnknownWordsUniform(t *testing.T) {
+	c, _ := twoTopicCorpus(20, 8)
+	m, err := Fit(c, Config{K: 2, Iters: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.FoldIn("completely unseen tokens only", 10)
+	if math.Abs(theta[0]-0.5) > 1e-9 {
+		t.Errorf("unknown-word fold-in = %v, want uniform", theta)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.K != 10 || cfg.Beta != 0.01 || cfg.Iters != 50 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if math.Abs(cfg.Alpha-0.1) > 1e-12 {
+		t.Errorf("alpha default = %g, want 1/K = 0.1", cfg.Alpha)
+	}
+}

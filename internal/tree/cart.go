@@ -1,0 +1,374 @@
+// Package tree implements the paper's tree learners from scratch: CART
+// decision trees with Gini impurity and weighted instances (Eqs. 5-6),
+// random forests with bagging, √N feature subspaces and Gini feature
+// importance (Section 4.2, Eqs. 4 and 7), and gradient boosted decision
+// trees (GBDT) with binomial deviance for the Figure 9 comparison.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"telcochurn/internal/dataset"
+)
+
+// Config holds the tree-growth hyperparameters shared by single trees,
+// forests and GBDT base learners.
+type Config struct {
+	// MinLeafSamples is the paper's stopping rule: splitting stops when a
+	// node holds fewer than this many instances (paper: 100, "to avoid
+	// over-fitting"). Counted unweighted.
+	MinLeafSamples int
+	// MaxDepth bounds tree depth; 0 means unlimited (the paper relies on
+	// MinLeafSamples alone).
+	MaxDepth int
+	// FeaturesPerSplit is the number of features sampled at each node; 0
+	// means all features (single CART), -1 means √N (random forest default).
+	FeaturesPerSplit int
+	// Seed drives the feature subsampling and bootstrap RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeafSamples == 0 {
+		c.MinLeafSamples = 100
+	}
+	return c
+}
+
+// node is one tree node; leaves have nil children and a class distribution
+// (classification) or value (regression).
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	probs     []float64 // leaf class distribution, classification trees
+	value     float64   // leaf value, regression trees
+	n         int       // training instances that reached this node
+}
+
+func (nd *node) isLeaf() bool { return nd.left == nil }
+
+// Tree is a trained CART classification tree.
+type Tree struct {
+	root       *node
+	numClasses int
+	numFeat    int
+	importance []float64
+}
+
+// Gini computes the Gini index of Eq. (6), 1 - sum_c p_c^2, from weighted
+// class masses.
+func Gini(classMass []float64) float64 {
+	total := 0.0
+	for _, m := range classMass {
+		total += m
+	}
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, m := range classMass {
+		p := m / total
+		g -= p * p
+	}
+	return g
+}
+
+// FitTree trains a single CART classification tree on the dataset with the
+// paper's Gini splitting (Eqs. 5-6), honoring per-instance weights.
+func FitTree(d *dataset.Dataset, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumInstances() == 0 {
+		return nil, errors.New("tree: empty dataset")
+	}
+	numClasses := d.NumClasses()
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	g := &grower{
+		x:          d.X,
+		y:          d.Y,
+		w:          weightsOf(d),
+		numClasses: numClasses,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		importance: make([]float64, d.NumFeatures()),
+	}
+	idx := make([]int, d.NumInstances())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := g.grow(idx, 0)
+	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}, nil
+}
+
+func weightsOf(d *dataset.Dataset) []float64 {
+	if d.W != nil {
+		return d.W
+	}
+	w := make([]float64, d.NumInstances())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// PredictProba returns the class-probability vector for one instance.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	nd := t.root
+	for !nd.isLeaf() {
+		if x[nd.feature] <= nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.probs
+}
+
+// Predict returns the most probable class for one instance.
+func (t *Tree) Predict(x []float64) int {
+	probs := t.PredictProba(x)
+	best, bestP := 0, probs[0]
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of classes the tree was trained with.
+func (t *Tree) NumClasses() int { return t.numClasses }
+
+// Importance returns the tree's raw (unnormalized) Gini importance per
+// feature: the sum over split nodes of weighted impurity decrease (Eq. 7).
+func (t *Tree) Importance() []float64 {
+	return append([]float64(nil), t.importance...)
+}
+
+// NumLeaves counts the tree's leaves.
+func (t *Tree) NumLeaves() int { return countLeaves(t.root) }
+
+func countLeaves(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.isLeaf() {
+		return 1
+	}
+	return countLeaves(nd.left) + countLeaves(nd.right)
+}
+
+// MinLeafSize returns the smallest training-population of any leaf, for
+// invariant testing against Config.MinLeafSamples.
+func (t *Tree) MinLeafSize() int {
+	minSize := math.MaxInt
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.isLeaf() {
+			if nd.n < minSize {
+				minSize = nd.n
+			}
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return minSize
+}
+
+// grower holds the shared state of one tree-growing run.
+type grower struct {
+	x          [][]float64
+	y          []int
+	w          []float64
+	numClasses int
+	cfg        Config
+	rng        *rand.Rand
+	importance []float64
+}
+
+func (g *grower) grow(idx []int, depth int) *node {
+	mass := make([]float64, g.numClasses)
+	for _, i := range idx {
+		mass[g.y[i]] += g.w[i]
+	}
+	leaf := func() *node {
+		return &node{probs: normalize(mass), n: len(idx)}
+	}
+	if len(idx) < 2*g.cfg.MinLeafSamples || depth == g.cfg.MaxDepth && g.cfg.MaxDepth > 0 {
+		return leaf()
+	}
+	if isPure(mass) {
+		return leaf()
+	}
+
+	best := g.bestSplit(idx, mass)
+	if best.feature < 0 {
+		return leaf()
+	}
+	leftIdx, rightIdx := partition(g.x, idx, best.feature, best.threshold)
+	if len(leftIdx) < g.cfg.MinLeafSamples || len(rightIdx) < g.cfg.MinLeafSamples {
+		return leaf()
+	}
+	g.importance[best.feature] += best.improvement
+	return &node{
+		feature:   best.feature,
+		threshold: best.threshold,
+		left:      g.grow(leftIdx, depth+1),
+		right:     g.grow(rightIdx, depth+1),
+		n:         len(idx),
+		// Internal nodes keep their class distribution too, so decision-path
+		// attribution (Contributions) can credit each split's probability
+		// shift to the feature it tested.
+		probs: normalize(mass),
+	}
+}
+
+type split struct {
+	feature     int
+	threshold   float64
+	improvement float64
+}
+
+// bestSplit searches the sampled feature subset for the split with the
+// maximum weighted Gini improvement (Eq. 5).
+func (g *grower) bestSplit(idx []int, parentMass []float64) split {
+	numFeat := len(g.x[0])
+	features := g.sampleFeatures(numFeat)
+	parentGini := Gini(parentMass)
+	parentTotal := 0.0
+	for _, m := range parentMass {
+		parentTotal += m
+	}
+
+	best := split{feature: -1}
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	leftMass := make([]float64, g.numClasses)
+
+	for _, f := range features {
+		for j, i := range idx {
+			vals[j] = g.x[i][f]
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+
+		for c := range leftMass {
+			leftMass[c] = 0
+		}
+		leftTotal := 0.0
+		// Scan split points between distinct adjacent values; enforce the
+		// min-leaf rule on unweighted counts.
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := idx[order[pos]]
+			leftMass[g.y[i]] += g.w[i]
+			leftTotal += g.w[i]
+			cur, next := vals[order[pos]], vals[order[pos+1]]
+			if cur == next {
+				continue
+			}
+			nLeft := pos + 1
+			nRight := len(order) - nLeft
+			if nLeft < g.cfg.MinLeafSamples || nRight < g.cfg.MinLeafSamples {
+				continue
+			}
+			q := leftTotal / parentTotal
+			rightGini := giniComplement(parentMass, leftMass, parentTotal-leftTotal)
+			improvement := parentGini - q*Gini(leftMass) - (1-q)*rightGini
+			if improvement > best.improvement {
+				best = split{feature: f, threshold: (cur + next) / 2, improvement: improvement}
+			}
+		}
+	}
+	return best
+}
+
+// giniComplement computes Gini of (parent - left) without allocating.
+func giniComplement(parent, left []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for c := range parent {
+		p := (parent[c] - left[c]) / total
+		g -= p * p
+	}
+	return g
+}
+
+func (g *grower) sampleFeatures(numFeat int) []int {
+	k := g.cfg.FeaturesPerSplit
+	switch {
+	case k == 0 || k >= numFeat:
+		all := make([]int, numFeat)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	case k == -1:
+		k = int(math.Sqrt(float64(numFeat)))
+		if k < 1 {
+			k = 1
+		}
+	}
+	perm := g.rng.Perm(numFeat)
+	return perm[:k]
+}
+
+func partition(x [][]float64, idx []int, feature int, threshold float64) (left, right []int) {
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+func normalize(mass []float64) []float64 {
+	total := 0.0
+	for _, m := range mass {
+		total += m
+	}
+	probs := make([]float64, len(mass))
+	if total == 0 {
+		for c := range probs {
+			probs[c] = 1 / float64(len(mass))
+		}
+		return probs
+	}
+	for c, m := range mass {
+		probs[c] = m / total
+	}
+	return probs
+}
+
+func isPure(mass []float64) bool {
+	nonZero := 0
+	for _, m := range mass {
+		if m > 0 {
+			nonZero++
+		}
+	}
+	return nonZero <= 1
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree(classes=%d leaves=%d)", t.numClasses, t.NumLeaves())
+}

@@ -1,0 +1,274 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"telcochurn/internal/dataset"
+)
+
+// ForestConfig configures a random forest. The defaults follow Section 4.2:
+// 500 trees, √N features per split, minimum 100 samples per leaf.
+type ForestConfig struct {
+	// NumTrees is the ensemble size T of Eq. (4). Default 500.
+	NumTrees int
+	// MinLeafSamples defaults to the paper's 100.
+	MinLeafSamples int
+	// MaxDepth bounds tree depth (0 = unlimited).
+	MaxDepth int
+	// FeaturesPerSplit defaults to √N (-1). 0 means all features.
+	FeaturesPerSplit int
+	// Seed makes training deterministic (bootstraps and feature sampling
+	// derive per-tree seeds from it).
+	Seed int64
+	// Workers caps training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees == 0 {
+		c.NumTrees = 500
+	}
+	if c.MinLeafSamples == 0 {
+		c.MinLeafSamples = 100
+	}
+	if c.FeaturesPerSplit == 0 {
+		c.FeaturesPerSplit = -1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees      []*Tree
+	numClasses int
+	importance []float64 // normalized Gini importance per feature
+	features   []string
+}
+
+// FitForest trains a random forest with bootstrap aggregating over CART
+// trees. Instance weights (dataset.W) flow into both the Gini computation
+// and the leaf distributions, implementing the paper's Weighted Instance
+// imbalance method inside the ensemble.
+func FitForest(d *dataset.Dataset, cfg ForestConfig) (*Forest, error) {
+	cfg = cfg.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.NumInstances()
+	if n == 0 {
+		return nil, errors.New("tree: empty dataset")
+	}
+	numClasses := d.NumClasses()
+	if numClasses < 2 {
+		numClasses = 2
+	}
+
+	trees := make([]*Tree, cfg.NumTrees)
+	errs := make([]error, cfg.NumTrees)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.NumTrees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
+			boot := bootstrap(d, rng)
+			tr, err := fitTreeWithClasses(boot, Config{
+				MinLeafSamples:   cfg.MinLeafSamples,
+				MaxDepth:         cfg.MaxDepth,
+				FeaturesPerSplit: cfg.FeaturesPerSplit,
+				Seed:             cfg.Seed + int64(t)*7_000_003,
+			}, numClasses)
+			trees[t], errs[t] = tr, err
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	imp := make([]float64, d.NumFeatures())
+	for _, tr := range trees {
+		for f, v := range tr.importance {
+			imp[f] += v
+		}
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for f := range imp {
+			imp[f] /= total
+		}
+	}
+	return &Forest{trees: trees, numClasses: numClasses, importance: imp, features: d.FeatureNames}, nil
+}
+
+// fitTreeWithClasses is FitTree with an externally fixed class count, so a
+// bootstrap that misses a rare class still yields aligned probability
+// vectors.
+func fitTreeWithClasses(d *dataset.Dataset, cfg Config, numClasses int) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	g := &grower{
+		x:          d.X,
+		y:          d.Y,
+		w:          weightsOf(d),
+		numClasses: numClasses,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		importance: make([]float64, d.NumFeatures()),
+	}
+	idx := make([]int, d.NumInstances())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := g.grow(idx, 0)
+	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}, nil
+}
+
+// bootstrap draws the per-tree sample. With instance weights present, rows
+// are drawn proportionally to weight (weighted bootstrap): plain class
+// weights only rescale leaf probabilities — a monotone recalibration that
+// leaves rankings untouched — whereas reweighted resampling changes which
+// splits the trees learn, which is what gives the Weighted Instance method
+// its Table 7 ranking gains.
+func bootstrap(d *dataset.Dataset, rng *rand.Rand) *dataset.Dataset {
+	n := d.NumInstances()
+	idx := make([]int, n)
+	if d.W == nil {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		return d.Subset(idx)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += d.W[i]
+		cum[i] = total
+	}
+	for i := range idx {
+		r := rng.Float64() * total
+		idx[i] = sort.SearchFloat64s(cum, r)
+		if idx[i] >= n {
+			idx[i] = n - 1
+		}
+	}
+	boot := d.Subset(idx)
+	// The draw already encodes the weights; carrying them into the Gini
+	// computation would square their influence.
+	boot.W = nil
+	return boot
+}
+
+// PredictProba returns the ensemble-average class distribution (Eq. 4) for
+// one instance.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	probs := make([]float64, f.numClasses)
+	for _, tr := range f.trees {
+		p := tr.PredictProba(x)
+		for c := range probs {
+			probs[c] += p[c]
+		}
+	}
+	for c := range probs {
+		probs[c] /= float64(len(f.trees))
+	}
+	return probs
+}
+
+// Score returns the likelihood of class 1 (churner) for one instance —
+// Eq. (4)'s y.
+func (f *Forest) Score(x []float64) float64 {
+	return f.PredictProba(x)[1]
+}
+
+// Predict returns the most probable class.
+func (f *Forest) Predict(x []float64) int {
+	probs := f.PredictProba(x)
+	best, bestP := 0, probs[0]
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// ScoreAll scores many instances in parallel, returning class-1 likelihoods.
+func (f *Forest) ScoreAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	parallelFor(len(x), func(i int) {
+		out[i] = f.Score(x[i])
+	})
+	return out
+}
+
+// PredictAll predicts classes for many instances in parallel.
+func (f *Forest) PredictAll(x [][]float64) []int {
+	out := make([]int, len(x))
+	parallelFor(len(x), func(i int) {
+		out[i] = f.Predict(x[i])
+	})
+	return out
+}
+
+// Importance returns the normalized Gini feature importance (Eq. 7),
+// aligned with the training feature names.
+func (f *Forest) Importance() []float64 {
+	return append([]float64(nil), f.importance...)
+}
+
+// FeatureNames returns the training feature names.
+func (f *Forest) FeatureNames() []string { return f.features }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumClasses returns the class count.
+func (f *Forest) NumClasses() int { return f.numClasses }
+
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

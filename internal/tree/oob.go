@@ -1,0 +1,83 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"telcochurn/internal/dataset"
+)
+
+// Out-of-bag evaluation: each bootstrap leaves out ~36.8% of the training
+// rows; scoring every row only with the trees that never saw it gives an
+// unbiased accuracy estimate without a holdout set. Deployed monthly
+// retraining uses this as the pre-release sanity check (no labeled "next
+// month" exists yet at training time).
+
+// OOBScores returns, for each training instance, the class-1 probability
+// averaged over the trees whose bootstrap excluded it, plus a coverage mask
+// (false where every tree saw the row — possible for tiny ensembles).
+//
+// d and cfg must be exactly the dataset and configuration used for
+// FitForest: the per-tree bootstraps are regenerated from cfg.Seed.
+func OOBScores(d *dataset.Dataset, cfg ForestConfig, f *Forest) ([]float64, []bool, error) {
+	cfg = cfg.withDefaults()
+	if f.NumTrees() != cfg.NumTrees {
+		return nil, nil, errors.New("tree: forest does not match config (tree count)")
+	}
+	n := d.NumInstances()
+	sum := make([]float64, n)
+	count := make([]int, n)
+
+	inBag := make([]bool, n)
+	for t := 0; t < cfg.NumTrees; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
+		for i := range inBag {
+			inBag[i] = false
+		}
+		markBootstrap(d, rng, inBag)
+		tr := f.trees[t]
+		for i := 0; i < n; i++ {
+			if inBag[i] {
+				continue
+			}
+			sum[i] += tr.PredictProba(d.X[i])[1]
+			count[i]++
+		}
+	}
+	scores := make([]float64, n)
+	covered := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if count[i] > 0 {
+			scores[i] = sum[i] / float64(count[i])
+			covered[i] = true
+		}
+	}
+	return scores, covered, nil
+}
+
+// markBootstrap replays the bootstrap draw of bootstrap() to flag in-bag
+// rows, consuming the RNG identically.
+func markBootstrap(d *dataset.Dataset, rng *rand.Rand, inBag []bool) {
+	n := d.NumInstances()
+	if d.W == nil {
+		for i := 0; i < n; i++ {
+			inBag[rng.Intn(n)] = true
+		}
+		return
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += d.W[i]
+		cum[i] = total
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= n {
+			idx = n - 1
+		}
+		inBag[idx] = true
+	}
+}

@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"testing"
+
+	"telcochurn/internal/eval"
+)
+
+func TestOOBScoresEstimateHoldoutPerformance(t *testing.T) {
+	train := separable(800, 41)
+	cfg := ForestConfig{NumTrees: 40, MinLeafSamples: 15, Seed: 6}
+	f, err := FitForest(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, covered, err := OOBScores(train, cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oob []eval.Prediction
+	for i := range scores {
+		if !covered[i] {
+			continue
+		}
+		oob = append(oob, eval.Prediction{ID: int64(i), Score: scores[i], Label: train.Y[i]})
+	}
+	if len(oob) < 700 {
+		t.Fatalf("only %d/800 rows covered out-of-bag", len(oob))
+	}
+	oobAUC := eval.AUC(oob)
+
+	// Holdout AUC for comparison.
+	test := separable(400, 42)
+	var hold []eval.Prediction
+	for i, x := range test.X {
+		hold = append(hold, eval.Prediction{ID: int64(i), Score: f.Score(x), Label: test.Y[i]})
+	}
+	holdAUC := eval.AUC(hold)
+	t.Logf("OOB AUC %.3f vs holdout AUC %.3f", oobAUC, holdAUC)
+	if diff := oobAUC - holdAUC; diff > 0.05 || diff < -0.05 {
+		t.Errorf("OOB AUC %.3f far from holdout %.3f", oobAUC, holdAUC)
+	}
+}
+
+func TestOOBScoresRejectsMismatchedForest(t *testing.T) {
+	train := separable(200, 43)
+	cfg := ForestConfig{NumTrees: 10, MinLeafSamples: 15, Seed: 6}
+	f, err := FitForest(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.NumTrees = 20
+	if _, _, err := OOBScores(train, bad, f); err == nil {
+		t.Error("want error for mismatched tree count")
+	}
+}
+
+func TestOOBWithWeightedBootstrap(t *testing.T) {
+	train := separable(400, 44)
+	train.W = make([]float64, train.NumInstances())
+	for i, y := range train.Y {
+		if y == 1 {
+			train.W[i] = 2
+		} else {
+			train.W[i] = 1
+		}
+	}
+	cfg := ForestConfig{NumTrees: 30, MinLeafSamples: 15, Seed: 8}
+	f, err := FitForest(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, covered, err := OOBScores(train, cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := range scores {
+		if covered[i] {
+			n++
+			if scores[i] < 0 || scores[i] > 1 {
+				t.Fatalf("score %g out of range", scores[i])
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no coverage under weighted bootstrap")
+	}
+}

@@ -1,0 +1,194 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// RegressionTree is a CART regression tree with variance-reduction splits.
+// It is the base learner for GBDT; leaf values are set by the boosting loss
+// via a LeafValue callback.
+type RegressionTree struct {
+	root *node
+}
+
+// RegressionConfig configures regression-tree growth.
+type RegressionConfig struct {
+	// MinLeafSamples is the minimum instances per leaf.
+	MinLeafSamples int
+	// MaxDepth bounds depth (0 = unlimited); GBDT uses shallow trees.
+	MaxDepth int
+	// FeaturesPerSplit as in Config: 0 all, -1 √N, k>0 exactly k.
+	FeaturesPerSplit int
+	// Seed drives feature subsampling.
+	Seed int64
+	// LeafValue computes a leaf's output from the indices it holds; nil
+	// means the mean of targets.
+	LeafValue func(idx []int) float64
+}
+
+// FitRegressionTree fits targets (one per row of x) with weighted
+// squared-error splits.
+func FitRegressionTree(x [][]float64, targets, weights []float64, cfg RegressionConfig) (*RegressionTree, error) {
+	if len(x) == 0 {
+		return nil, errors.New("tree: empty regression dataset")
+	}
+	if len(targets) != len(x) {
+		return nil, errors.New("tree: targets length mismatch")
+	}
+	if cfg.MinLeafSamples == 0 {
+		cfg.MinLeafSamples = 20
+	}
+	if weights == nil {
+		weights = make([]float64, len(x))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if cfg.LeafValue == nil {
+		cfg.LeafValue = func(idx []int) float64 {
+			s, ws := 0.0, 0.0
+			for _, i := range idx {
+				s += targets[i] * weights[i]
+				ws += weights[i]
+			}
+			if ws == 0 {
+				return 0
+			}
+			return s / ws
+		}
+	}
+	g := &regGrower{
+		x:   x,
+		t:   targets,
+		w:   weights,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &RegressionTree{root: g.grow(idx, 0)}, nil
+}
+
+// Predict returns the tree's value for one instance.
+func (t *RegressionTree) Predict(x []float64) float64 {
+	nd := t.root
+	for !nd.isLeaf() {
+		if x[nd.feature] <= nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.value
+}
+
+type regGrower struct {
+	x   [][]float64
+	t   []float64
+	w   []float64
+	cfg RegressionConfig
+	rng *rand.Rand
+}
+
+func (g *regGrower) grow(idx []int, depth int) *node {
+	leaf := func() *node {
+		return &node{value: g.cfg.LeafValue(idx), n: len(idx)}
+	}
+	if len(idx) < 2*g.cfg.MinLeafSamples || (g.cfg.MaxDepth > 0 && depth == g.cfg.MaxDepth) {
+		return leaf()
+	}
+	best := g.bestSplit(idx)
+	if best.feature < 0 {
+		return leaf()
+	}
+	leftIdx, rightIdx := partition(g.x, idx, best.feature, best.threshold)
+	if len(leftIdx) < g.cfg.MinLeafSamples || len(rightIdx) < g.cfg.MinLeafSamples {
+		return leaf()
+	}
+	return &node{
+		feature:   best.feature,
+		threshold: best.threshold,
+		left:      g.grow(leftIdx, depth+1),
+		right:     g.grow(rightIdx, depth+1),
+		n:         len(idx),
+	}
+}
+
+// bestSplit maximizes weighted SSE reduction, which for fixed parent SSE is
+// equivalent to maximizing sumL²/wL + sumR²/wR.
+func (g *regGrower) bestSplit(idx []int) split {
+	numFeat := len(g.x[0])
+	features := sampleFeaturesReg(g.rng, numFeat, g.cfg.FeaturesPerSplit)
+
+	totalSum, totalW := 0.0, 0.0
+	for _, i := range idx {
+		totalSum += g.t[i] * g.w[i]
+		totalW += g.w[i]
+	}
+	baseScore := 0.0
+	if totalW > 0 {
+		baseScore = totalSum * totalSum / totalW
+	}
+
+	best := split{feature: -1}
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	for _, f := range features {
+		for j, i := range idx {
+			vals[j] = g.x[i][f]
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+
+		leftSum, leftW := 0.0, 0.0
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := idx[order[pos]]
+			leftSum += g.t[i] * g.w[i]
+			leftW += g.w[i]
+			cur, next := vals[order[pos]], vals[order[pos+1]]
+			if cur == next {
+				continue
+			}
+			nLeft := pos + 1
+			nRight := len(order) - nLeft
+			if nLeft < g.cfg.MinLeafSamples || nRight < g.cfg.MinLeafSamples {
+				continue
+			}
+			rightSum, rightW := totalSum-leftSum, totalW-leftW
+			if leftW <= 0 || rightW <= 0 {
+				continue
+			}
+			gain := leftSum*leftSum/leftW + rightSum*rightSum/rightW - baseScore
+			if gain > best.improvement {
+				best = split{feature: f, threshold: (cur + next) / 2, improvement: gain}
+			}
+		}
+	}
+	return best
+}
+
+func sampleFeaturesReg(rng *rand.Rand, numFeat, k int) []int {
+	switch {
+	case k == 0 || k >= numFeat:
+		all := make([]int, numFeat)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	case k == -1:
+		k = intSqrt(numFeat)
+	}
+	return rng.Perm(numFeat)[:k]
+}
+
+func intSqrt(n int) int {
+	k := 1
+	for (k+1)*(k+1) <= n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,115 @@
+package tree
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestForestRoundTrip(t *testing.T) {
+	d := separable(400, 31)
+	d.FeatureNames = []string{"signal", "noise"}
+	f, err := FitForest(d, ForestConfig{NumTrees: 12, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrees() != f.NumTrees() || got.NumClasses() != f.NumClasses() {
+		t.Fatalf("shape mismatch: %d/%d trees, %d/%d classes",
+			got.NumTrees(), f.NumTrees(), got.NumClasses(), f.NumClasses())
+	}
+	// Identical predictions and attributions everywhere we probe.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.NormFloat64()}
+		if got.Score(x) != f.Score(x) {
+			t.Fatalf("score mismatch at %v", x)
+		}
+		b1, c1 := f.Contributions(x)
+		b2, c2 := got.Contributions(x)
+		if b1 != b2 {
+			t.Fatal("bias mismatch after round trip")
+		}
+		for j := range c1 {
+			if c1[j] != c2[j] {
+				t.Fatal("contribution mismatch after round trip")
+			}
+		}
+	}
+	// Metadata preserved.
+	if got.FeatureNames()[0] != "signal" {
+		t.Errorf("feature names = %v", got.FeatureNames())
+	}
+	gi, fi := got.Importance(), f.Importance()
+	for j := range fi {
+		if gi[j] != fi[j] {
+			t.Fatal("importance mismatch after round trip")
+		}
+	}
+}
+
+func TestForestRoundTripMultiClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := separable(300, 32)
+	for i := range d.Y {
+		if rng.Float64() < 0.2 {
+			d.Y[i] = 2
+		}
+	}
+	f, err := FitForest(d, ForestConfig{NumTrees: 8, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.7, 0.1}
+	p1, p2 := f.PredictProba(x), got.PredictProba(x)
+	for c := range p1 {
+		if p1[c] != p2[c] {
+			t.Fatal("multi-class proba mismatch")
+		}
+	}
+}
+
+func TestReadForestRejectsCorruption(t *testing.T) {
+	d := separable(300, 33)
+	f, err := FitForest(d, ForestConfig{NumTrees: 5, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x55
+	if _, err := ReadForest(bytes.NewReader(data)); !errors.Is(err, ErrBadModel) {
+		t.Errorf("corrupted model error = %v, want ErrBadModel", err)
+	}
+	// Truncation.
+	if _, err := ReadForest(bytes.NewReader(data[:10])); !errors.Is(err, ErrBadModel) {
+		t.Errorf("truncated model error = %v, want ErrBadModel", err)
+	}
+	// Wrong magic.
+	if _, err := ReadForest(bytes.NewReader([]byte("NOPE12345678"))); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad magic error = %v, want ErrBadModel", err)
+	}
+}
