@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -12,11 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector run; the parallel substrate guarantees bit-identical results
+# for any worker count, and this gate keeps that claim honest.
+test-race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -24,6 +32,14 @@ cover:
 # One benchmark per paper table/figure plus substrate micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Single-iteration benchmark pass: proves every benchmark still runs without
+# paying for stable timings (mirrors the CI smoke job).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Everything the CI workflow checks, in the same order.
+ci: build vet fmt-check test-race bench-smoke
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:

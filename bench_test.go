@@ -140,6 +140,11 @@ func BenchmarkStoreWriteRead(b *testing.B) {
 	}
 }
 
+// benchWorkerCounts parameterizes the parallel substrate benchmarks; outputs
+// are bit-identical across the sweep (see internal/parallel), only wall-clock
+// changes.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
 func BenchmarkWideTableBuild(b *testing.B) {
 	months := benchWorld(b)
 	tbl, err := features.FromMonthData(months[:1])
@@ -147,11 +152,14 @@ func BenchmarkWideTableBuild(b *testing.B) {
 		b.Fatal(err)
 	}
 	win := features.MonthWindow(1, 30)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := features.BaseFeatures(tbl, win, 30); err != nil {
-			b.Fatal(err)
-		}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := features.BuildBaseFeatures(tbl, win, 30, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -159,9 +167,12 @@ func BenchmarkPageRank(b *testing.B) {
 	months := benchWorld(b)
 	tbl, _ := features.FromMonthData(months[:1])
 	g := features.BuildCallGraph(tbl, features.MonthWindow(1, 30), 30, synth.IsCustomerID)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.PageRank(graph.PageRankOptions{})
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PageRank(graph.PageRankOptions{Workers: w})
+			}
+		})
 	}
 }
 

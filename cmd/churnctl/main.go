@@ -63,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   churnctl generate -out DIR [-customers N] [-months N] [-seed N]
-  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N]
+  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N]
   churnctl inspect -warehouse DIR
   churnctl explain [-customers N] [-top N]   root causes of predicted churners
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
@@ -166,6 +166,7 @@ func cmdRun(args []string) error {
 	repeats := fs.Int("repeats", 2, "sliding-window anchors to average")
 	seed := fs.Int64("seed", 1, "seed")
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per tree leaf")
+	workers := fs.Int("workers", 0, "parallelism across the pipeline (0 = all cores); results are identical for any value")
 	fs.Parse(args[1:])
 
 	opts := experiments.Options{
@@ -174,6 +175,7 @@ func cmdRun(args []string) error {
 		Repeats:   *repeats,
 		Seed:      *seed,
 		MinLeaf:   *minLeaf,
+		Workers:   *workers,
 	}
 
 	ids := []string{id}

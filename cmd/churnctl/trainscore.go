@@ -53,6 +53,7 @@ func cmdTrain(args []string) error {
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per leaf")
 	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F6)")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism for feature build and training (0 = all cores)")
 	fs.Parse(args)
 
 	groups, err := parseGroups(*groupSpec)
@@ -84,6 +85,7 @@ func cmdTrain(args []string) error {
 		Forest:    tree.ForestConfig{NumTrees: *trees, MinLeafSamples: *minLeaf, Seed: *seed},
 		Imbalance: sampling.WeightedInstance,
 		Seed:      *seed,
+		Workers:   *workers,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"telcochurn/internal/eval"
+	"telcochurn/internal/features"
+	"telcochurn/internal/sampling"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// fitEvalWorkers runs the full pipeline — wide-table build (including graph
+// features), forest fit, prediction, evaluation — at a given worker count.
+func fitEvalWorkers(t *testing.T, workers int) ([]eval.Prediction, eval.Report, []string) {
+	t.Helper()
+	months := testMonths(t)
+	src := NewMemorySource(months, synth.DefaultConfig().DaysPerMonth)
+	days := src.DaysPerMonth()
+
+	p, err := Fit(src, []WindowSpec{MonthSpec(3, days)}, Config{
+		Groups: []features.Group{
+			features.F1Baseline, features.F2CS, features.F3PS,
+			features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph,
+		},
+		Forest:    tree.ForestConfig{NumTrees: 40, MinLeafSamples: 20, Seed: 42},
+		Imbalance: sampling.WeightedInstance,
+		Seed:      1,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatalf("Fit (workers=%d): %v", workers, err)
+	}
+	u := synth.ScaleU(200000, 1500)
+	preds, report, err := p.Evaluate(src, MonthSpec(4, days), u)
+	if err != nil {
+		t.Fatalf("Evaluate (workers=%d): %v", workers, err)
+	}
+	return preds, report, p.FeatureNames()
+}
+
+// TestPipelineDeterministicAcrossWorkers is the headline guarantee of the
+// parallel substrate: Fit and Evaluate produce bit-identical outputs for any
+// Workers value. Scores are compared exactly — no tolerance.
+func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
+	preds1, rep1, names1 := fitEvalWorkers(t, 1)
+	preds8, rep8, names8 := fitEvalWorkers(t, 8)
+
+	if len(names1) != len(names8) {
+		t.Fatalf("feature count differs: %d vs %d", len(names1), len(names8))
+	}
+	for i := range names1 {
+		if names1[i] != names8[i] {
+			t.Fatalf("feature %d differs: %q vs %q", i, names1[i], names8[i])
+		}
+	}
+	if rep1 != rep8 {
+		t.Errorf("reports differ:\n workers=1: %+v\n workers=8: %+v", rep1, rep8)
+	}
+	if len(preds1) != len(preds8) {
+		t.Fatalf("prediction count differs: %d vs %d", len(preds1), len(preds8))
+	}
+	for i := range preds1 {
+		if preds1[i] != preds8[i] {
+			t.Fatalf("prediction %d differs: %+v vs %+v", i, preds1[i], preds8[i])
+		}
+	}
+}
+
+// TestBuildFrameDeterministicAcrossWorkers pins the wide table itself: every
+// cell of every row — base aggregates and graph features alike — must be
+// bit-identical whether built by one worker or eight.
+func TestBuildFrameDeterministicAcrossWorkers(t *testing.T) {
+	months := testMonths(t)
+	src := NewMemorySource(months, synth.DefaultConfig().DaysPerMonth)
+	days := src.DaysPerMonth()
+	win := features.MonthWindow(3, days)
+	groups := []features.Group{
+		features.F1Baseline, features.F2CS, features.F3PS,
+		features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph,
+	}
+
+	build := func(workers int) *features.Frame {
+		b := NewFrameBuilder(Config{Groups: groups, Workers: workers})
+		f, err := b.BuildFrame(src, win, false, nil)
+		if err != nil {
+			t.Fatalf("BuildFrame (workers=%d): %v", workers, err)
+		}
+		return f
+	}
+	f1 := build(1)
+	f8 := build(8)
+
+	n1, n8 := f1.Names(), f8.Names()
+	if len(n1) != len(n8) {
+		t.Fatalf("column count differs: %d vs %d", len(n1), len(n8))
+	}
+	for i := range n1 {
+		if n1[i] != n8[i] {
+			t.Fatalf("column %d differs: %q vs %q", i, n1[i], n8[i])
+		}
+	}
+	ids1, ids8 := f1.IDs(), f8.IDs()
+	if len(ids1) != len(ids8) {
+		t.Fatalf("row count differs: %d vs %d", len(ids1), len(ids8))
+	}
+	for i, id := range ids1 {
+		if id != ids8[i] {
+			t.Fatalf("row %d id differs: %d vs %d", i, id, ids8[i])
+		}
+		r1, _ := f1.Row(id)
+		r8, _ := f8.Row(id)
+		for j := range r1 {
+			if r1[j] != r8[j] {
+				t.Fatalf("cell (%d, %s) differs: %v vs %v", id, n1[j], r1[j], r8[j])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"telcochurn/internal/eval"
 	"telcochurn/internal/features"
 	"telcochurn/internal/fm"
+	"telcochurn/internal/parallel"
 	"telcochurn/internal/sampling"
 	"telcochurn/internal/topic"
 	"telcochurn/internal/tree"
@@ -33,6 +34,12 @@ type Config struct {
 	SecondOrderPairs int
 	// Seed drives sampling and model RNGs.
 	Seed int64
+	// Workers caps pipeline parallelism end to end — wide-table build, graph
+	// algorithms, forest training and batch scoring (0 = GOMAXPROCS). The
+	// pipeline's outputs are bit-identical for any value: all RNG streams
+	// are keyed by logical item, and every parallel reduction merges in a
+	// fixed order.
+	Workers int
 	// StableSeedStride downsamples non-churner label-propagation seeds
 	// (default 10: every 10th known non-churner anchors class 0).
 	StableSeedStride int
@@ -123,6 +130,9 @@ func Fit(src Source, train []WindowSpec, cfg Config) (*Pipeline, error) {
 		if fc.Seed == 0 {
 			fc.Seed = cfg.Seed + 1
 		}
+		if fc.Workers == 0 {
+			fc.Workers = cfg.Workers
+		}
 		p.clf = &RFClassifier{Config: fc}
 	}
 
@@ -198,7 +208,7 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 	if err != nil {
 		return nil, err
 	}
-	base, err := features.BaseFeatures(tbl, win, days)
+	base, err := features.BuildBaseFeatures(tbl, win, days, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +245,7 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 		// experiment.
 		full := frame
 		scratch := features.NewFrame(frame.IDs())
-		features.AddGraphFeatures(scratch, tbl, win, days, in)
+		features.AddGraphFeatures(scratch, tbl, win, days, in, p.cfg.Workers)
 		// Copy over only the requested graph groups, preserving order.
 		for _, g := range []features.Group{features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph} {
 			if !p.cfg.hasGroup(g) {
@@ -319,11 +329,12 @@ func (p *Pipeline) Predict(src Source, win features.Window) (*Predictions, error
 	if err != nil {
 		return nil, err
 	}
+	ids := frame.IDs()
 	x := make([][]float64, frame.NumRows())
-	for i, id := range frame.IDs() {
-		row, _ := frame.Row(id)
+	parallel.For(p.cfg.Workers, len(ids), func(i int) {
+		row, _ := frame.Row(ids[i])
 		x[i] = row
-	}
+	})
 	scores := p.clf.ScoreAll(x)
 	return &Predictions{IDs: append([]int64(nil), frame.IDs()...), Scores: scores}, nil
 }

@@ -187,7 +187,7 @@ func (e *Env) runExtendedGraphArm(trainMonth, testMonth, u int) (eval.Report, er
 				in.PrevChurners[id] = true
 			}
 		}
-		features.AddGraphFeatures(frame, tbl, graphWin, days, in)
+		features.AddGraphFeatures(frame, tbl, graphWin, days, in, e.Opts.Workers)
 		return frame, nil
 	}
 

@@ -33,6 +33,10 @@ type Options struct {
 	// Repeats is how many sliding-window anchors to average (the paper uses
 	// 3-7). Default 2.
 	Repeats int
+	// Workers caps parallelism across the whole run — experiment fan-out,
+	// wide-table build, graph algorithms and forest training (0 =
+	// GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -58,7 +62,7 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) forest() tree.ForestConfig {
-	return tree.ForestConfig{NumTrees: o.Trees, MinLeafSamples: o.MinLeaf, Seed: o.Seed + 11}
+	return tree.ForestConfig{NumTrees: o.Trees, MinLeafSamples: o.MinLeaf, Seed: o.Seed + 11, Workers: o.Workers}
 }
 
 // scaleU maps a paper top-U cutoff onto this run's population.

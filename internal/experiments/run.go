@@ -4,6 +4,7 @@ import (
 	"telcochurn/internal/core"
 	"telcochurn/internal/eval"
 	"telcochurn/internal/features"
+	"telcochurn/internal/parallel"
 	"telcochurn/internal/sampling"
 )
 
@@ -28,6 +29,7 @@ func (e *Env) run(spec runSpec) ([]eval.Prediction, eval.Report, *core.Pipeline,
 		Imbalance:  spec.imbalance,
 		Classifier: spec.classifier,
 		Seed:       e.Opts.Seed + spec.seedShift,
+		Workers:    e.Opts.Workers,
 	}
 	p, err := core.Fit(e.Src, spec.train, cfg)
 	if err != nil {
@@ -35,6 +37,27 @@ func (e *Env) run(spec runSpec) ([]eval.Prediction, eval.Report, *core.Pipeline,
 	}
 	preds, report, err := p.Evaluate(e.Src, spec.test, spec.u)
 	return preds, report, p, err
+}
+
+// runOutcome pairs one spec's outputs for ordered collection.
+type runOutcome struct {
+	preds  []eval.Prediction
+	report eval.Report
+	pipe   *core.Pipeline
+	err    error
+}
+
+// runAll executes the given specs concurrently — the experiment-level
+// repeat/window fan-out — bounded by the Workers option, and returns the
+// outcomes in spec order. Each spec carries its own seed shift, so results
+// are identical to a sequential run for any worker count.
+func (e *Env) runAll(specs []runSpec) []runOutcome {
+	out := make([]runOutcome, len(specs))
+	parallel.ForGrain(e.Opts.Workers, len(specs), 1, func(i int) {
+		preds, report, pipe, err := e.run(specs[i])
+		out[i] = runOutcome{preds: preds, report: report, pipe: pipe, err: err}
+	})
+	return out
 }
 
 // monthWin abbreviates features.MonthWindow for experiment code.

@@ -56,14 +56,16 @@ func Tab5Velocity(opts Options) (*Tab5Result, error) {
 	u := opts.scaleU(200000)
 
 	res := &Tab5Result{CadenceDays: []int{30, 20, 10, 5}, U: u}
+	// Cadence × anchor cells are independent (per-cell seed shifts); fan them
+	// out concurrently and average in grid order.
+	var specs []runSpec
 	for ci, cadence := range res.CadenceDays {
 		frac := 1 - float64(cadence)/60
-		var reports []eval.Report
 		for a := 0; a < opts.Repeats; a++ {
 			anchor := 5 + a // predict churners of this month
 			newest := core.MonthSpec(anchor-2, days)
 			newest.SampleFrac = frac
-			_, report, _, err := env.run(runSpec{
+			specs = append(specs, runSpec{
 				train: []core.WindowSpec{
 					core.MonthSpec(anchor-3, days), // fully labeled by any cadence
 					newest,                         // partially folded in
@@ -72,10 +74,17 @@ func Tab5Velocity(opts Options) (*Tab5Result, error) {
 				u:         u,
 				seedShift: int64(ci*500 + a),
 			})
-			if err != nil {
-				return nil, fmt.Errorf("tab5 cadence %d anchor %d: %w", cadence, anchor, err)
+		}
+	}
+	outcomes := env.runAll(specs)
+	for ci, cadence := range res.CadenceDays {
+		var reports []eval.Report
+		for a := 0; a < opts.Repeats; a++ {
+			out := outcomes[ci*opts.Repeats+a]
+			if out.err != nil {
+				return nil, fmt.Errorf("tab5 cadence %d anchor %d: %w", cadence, 5+a, out.err)
 			}
-			reports = append(reports, report)
+			reports = append(reports, out.report)
 		}
 		res.Reports = append(res.Reports, eval.MeanReport(reports))
 	}

@@ -59,22 +59,32 @@ func Fig7Volume(opts Options) (*Fig7Result, error) {
 		res.Us = append(res.Us, opts.scaleU(pu))
 	}
 
+	// The volume × anchor grid is an independent fan-out: every cell has its
+	// own seed shift, so the runs execute concurrently (bounded by Workers)
+	// and are collected in grid order — identical output to a sequential run.
+	var specs []runSpec
 	for v := 1; v <= maxVolume; v++ {
-		perU := make([][]eval.Report, len(res.Us))
 		for a := 0; a < opts.Repeats; a++ {
 			anchor := 9 + a // predict churners of this month
-			spec := runSpec{
+			specs = append(specs, runSpec{
 				train:     monthTrain(anchor-2, v, days),
 				test:      core.MonthSpec(anchor-1, days),
 				u:         res.Us[0],
 				seedShift: int64(v*100 + a),
-			}
-			preds, _, _, err := env.run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 volume %d anchor %d: %w", v, anchor, err)
+			})
+		}
+	}
+	outcomes := env.runAll(specs)
+
+	for v := 1; v <= maxVolume; v++ {
+		perU := make([][]eval.Report, len(res.Us))
+		for a := 0; a < opts.Repeats; a++ {
+			out := outcomes[(v-1)*opts.Repeats+a]
+			if out.err != nil {
+				return nil, fmt.Errorf("fig7 volume %d anchor %d: %w", v, 9+a, out.err)
 			}
 			for k, u := range res.Us {
-				perU[k] = append(perU[k], eval.Evaluate(preds, u))
+				perU[k] = append(perU[k], eval.Evaluate(out.preds, u))
 			}
 		}
 		res.Volumes = append(res.Volumes, v)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"telcochurn/internal/parallel"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
 	"telcochurn/internal/table"
@@ -246,22 +247,64 @@ func scale(m map[int64]float64, k float64) map[int64]float64 {
 	return out
 }
 
-// BaseFeatures builds the F1 (baseline BSS), F2 (CS KPI/KQI) and F3 (PS
-// KPI/KQI + location) columns of the wide table for the given window. The
-// customer universe is the window's last-month demographic snapshot.
+// column is one computed wide-table column awaiting placement in a frame.
+type column struct {
+	group  Group
+	name   string
+	values map[int64]float64
+	def    float64
+}
+
+// colJob computes one or more columns; jobs share no mutable state, so they
+// are the unit of parallelism for the wide-table build (the role of the
+// paper's per-aggregation Spark SQL queries).
+type colJob func() []column
+
+// oneCol wraps a single-column computation as a job.
+func oneCol(g Group, name string, def float64, compute func() map[int64]float64) colJob {
+	return func() []column {
+		return []column{{group: g, name: name, values: compute(), def: def}}
+	}
+}
+
+// runJobs evaluates the jobs across workers and appends every resulting
+// column to the frame in job order. Column layout and values are therefore
+// identical for any worker count — parallelism only reorders the compute,
+// never the merge.
+func runJobs(f *Frame, workers int, jobs []colJob) {
+	results := make([][]column, len(jobs))
+	parallel.ForGrain(workers, len(jobs), 1, func(i int) { results[i] = jobs[i]() })
+	for _, cols := range results {
+		for _, c := range cols {
+			f.AddColumn(c.group, c.name, c.values, c.def)
+		}
+	}
+}
+
+// BaseFeatures builds the F1-F3 columns sequentially; see BuildBaseFeatures.
 func BaseFeatures(tbl Tables, win Window, daysPerMonth int) (*Frame, error) {
+	return BuildBaseFeatures(tbl, win, daysPerMonth, 1)
+}
+
+// BuildBaseFeatures builds the F1 (baseline BSS), F2 (CS KPI/KQI) and F3 (PS
+// KPI/KQI + location) columns of the wide table for the given window, fanning
+// the independent per-column aggregations across `workers` goroutines
+// (0 = GOMAXPROCS). The customer universe is the window's last-month
+// demographic snapshot. The frame is bit-identical for any worker count.
+func BuildBaseFeatures(tbl Tables, win Window, daysPerMonth, workers int) (*Frame, error) {
 	cust := snapshotMonth(tbl.Customers, win, daysPerMonth)
 	if cust.NumRows() == 0 {
 		return nil, fmt.Errorf("features: no customer snapshot for month %d", win.LastMonth(daysPerMonth))
 	}
 	frame := NewFrame(cust.MustCol("imsi").Ints)
-	addF1(frame, tbl, cust, win, daysPerMonth)
-	addF2(frame, tbl, win, daysPerMonth)
-	addF3(frame, tbl, win, daysPerMonth)
+	jobs := f1Jobs(tbl, cust, win, daysPerMonth)
+	jobs = append(jobs, f2Jobs(tbl, win, daysPerMonth)...)
+	jobs = append(jobs, f3Jobs(tbl, win, daysPerMonth)...)
+	runJobs(frame, workers, jobs)
 	return frame, nil
 }
 
-func addF1(f *Frame, tbl Tables, cust *table.Table, win Window, daysPerMonth int) {
+func f1Jobs(tbl Tables, cust *table.Table, win Window, daysPerMonth int) []colJob {
 	calls := tbl.Calls
 	inWin := inWindow(calls, win, daysPerMonth)
 	kind := calls.MustCol("kind").Ints
@@ -292,54 +335,55 @@ func addF1(f *Frame, tbl Tables, cust *table.Table, win Window, daysPerMonth int
 	localAny := func(i int) bool { return kind[i] == synth.CallLocalInner || kind[i] == synth.CallLocalOuter }
 	notSvc := func(i int) bool { return svc[i] == 0 }
 
+	var jobs []colJob
+	sumJob := func(name string, pred func(int) bool) {
+		jobs = append(jobs, oneCol(F1Baseline, name, 0, func() map[int64]float64 {
+			return sumBy(calls, pred, "dur")
+		}))
+	}
+	cntJob := func(name string, pred func(int) bool) {
+		jobs = append(jobs, oneCol(F1Baseline, name, 0, func() map[int64]float64 {
+			return countBy(calls, pred)
+		}))
+	}
+
 	// Call durations (seconds).
-	durCols := []struct {
-		name string
-		pred func(int) bool
-	}{
-		{"localbase_inner_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalInner), notSvc)},
-		{"localbase_outer_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalOuter))},
-		{"ld_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLongDist))},
-		{"roam_call_dur", and(inWin, isMO, ok, kindIs(synth.CallRoam))},
-		{"localbase_called_dur", and(inWin, isMT, ok, localAny)},
-		{"ld_called_dur", and(inWin, isMT, ok, kindIs(synth.CallLongDist))},
-		{"roam_called_dur", and(inWin, isMT, ok, kindIs(synth.CallRoam))},
-		{"cm_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaMobile })},
-		{"ct_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaTelecom })},
-		{"busy_call_dur", and(inWin, isMO, ok, func(i int) bool { return busy[i] == 1 })},
-		{"fest_call_dur", and(inWin, isMO, ok, func(i int) bool { return fest[i] == 1 })},
-		{"free_call_dur", and(inWin, ok, func(i int) bool { return free[i] == 1 })},
-		{"gift_voice_call_dur", and(inWin, ok, func(i int) bool { return gift[i] == 1 })},
-		{"voice_dur", and(inWin, ok)},
-		{"caller_dur", and(inWin, isMO, ok)},
-	}
-	for _, c := range durCols {
-		f.AddColumn(F1Baseline, c.name, sumBy(calls, c.pred, "dur"), 0)
-	}
+	sumJob("localbase_inner_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalInner), notSvc))
+	sumJob("localbase_outer_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLocalOuter)))
+	sumJob("ld_call_dur", and(inWin, isMO, ok, kindIs(synth.CallLongDist)))
+	sumJob("roam_call_dur", and(inWin, isMO, ok, kindIs(synth.CallRoam)))
+	sumJob("localbase_called_dur", and(inWin, isMT, ok, localAny))
+	sumJob("ld_called_dur", and(inWin, isMT, ok, kindIs(synth.CallLongDist)))
+	sumJob("roam_called_dur", and(inWin, isMT, ok, kindIs(synth.CallRoam)))
+	sumJob("cm_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaMobile }))
+	sumJob("ct_dur", and(inWin, ok, func(i int) bool { return peerOp[i] == synth.OpChinaTelecom }))
+	sumJob("busy_call_dur", and(inWin, isMO, ok, func(i int) bool { return busy[i] == 1 }))
+	sumJob("fest_call_dur", and(inWin, isMO, ok, func(i int) bool { return fest[i] == 1 }))
+	sumJob("free_call_dur", and(inWin, ok, func(i int) bool { return free[i] == 1 }))
+	sumJob("gift_voice_call_dur", and(inWin, ok, func(i int) bool { return gift[i] == 1 }))
+	sumJob("voice_dur", and(inWin, ok))
+	sumJob("caller_dur", and(inWin, isMO, ok))
 
 	// Call counts.
-	cntCols := []struct {
-		name string
-		pred func(int) bool
-	}{
-		{"all_call_cnt", inWin},
-		{"voice_cnt", and(inWin, ok)},
-		{"local_base_call_cnt", and(inWin, isMO, localAny, notSvc)},
-		{"ld_call_cnt", and(inWin, isMO, kindIs(synth.CallLongDist))},
-		{"roam_call_cnt", and(inWin, isMO, kindIs(synth.CallRoam))},
-		{"caller_cnt", and(inWin, isMO)},
-		{"call_10010_cnt", and(inWin, func(i int) bool { return svc[i] == 1 })},
-		{"call_10010_manual_cnt", and(inWin, func(i int) bool { return manual[i] == 1 })},
-	}
-	for _, c := range cntCols {
-		f.AddColumn(F1Baseline, c.name, countBy(calls, c.pred), 0)
-	}
+	cntJob("all_call_cnt", inWin)
+	cntJob("voice_cnt", and(inWin, ok))
+	cntJob("local_base_call_cnt", and(inWin, isMO, localAny, notSvc))
+	cntJob("ld_call_cnt", and(inWin, isMO, kindIs(synth.CallLongDist)))
+	cntJob("roam_call_cnt", and(inWin, isMO, kindIs(synth.CallRoam)))
+	cntJob("caller_cnt", and(inWin, isMO))
+	cntJob("call_10010_cnt", and(inWin, func(i int) bool { return svc[i] == 1 }))
+	cntJob("call_10010_manual_cnt", and(inWin, func(i int) bool { return manual[i] == 1 }))
 
 	// Call minutes (duration/60 views the BI system reports separately).
-	f.AddColumn(F1Baseline, "local_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, localAny), "dur"), 1.0/60), 0)
-	f.AddColumn(F1Baseline, "toll_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, kindIs(synth.CallLongDist)), "dur"), 1.0/60), 0)
-	f.AddColumn(F1Baseline, "roam_call_minutes", scale(sumBy(calls, and(inWin, isMO, ok, kindIs(synth.CallRoam)), "dur"), 1.0/60), 0)
-	f.AddColumn(F1Baseline, "voice_call_minutes", scale(sumBy(calls, and(inWin, ok), "dur"), 1.0/60), 0)
+	minuteJob := func(name string, pred func(int) bool) {
+		jobs = append(jobs, oneCol(F1Baseline, name, 0, func() map[int64]float64 {
+			return scale(sumBy(calls, pred, "dur"), 1.0/60)
+		}))
+	}
+	minuteJob("local_call_minutes", and(inWin, isMO, ok, localAny))
+	minuteJob("toll_call_minutes", and(inWin, isMO, ok, kindIs(synth.CallLongDist)))
+	minuteJob("roam_call_minutes", and(inWin, isMO, ok, kindIs(synth.CallRoam)))
+	minuteJob("voice_call_minutes", and(inWin, ok))
 
 	// Messages.
 	msgs := tbl.Messages
@@ -358,64 +402,79 @@ func addF1(f *Frame, tbl Tables, cust *table.Table, win Window, daysPerMonth int
 	p2p := func(i int) bool { return mKind[i] == synth.MsgP2P }
 	opIs := func(op int64) func(int) bool { return func(i int) bool { return mOp[i] == op } }
 
-	msgCols := []struct {
-		name string
-		pred func(int) bool
-	}{
-		{"sms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpSelf))},
-		{"sms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mOp[i] != synth.OpSelf })},
-		{"sms_p2p_cm_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaMobile))},
-		{"sms_p2p_ct_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaTelecom))},
-		{"sms_info_mo_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgInfo })},
-		{"sms_p2p_roam_int_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mRoamInt[i] == 1 })},
-		{"sms_bill_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgBilling })},
-		{"sms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isSMS)},
-		{"serve_sms_count", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService })},
-		{"mms_cnt", and(mInWin, isMMS)},
-		{"mms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, opIs(synth.OpSelf))},
-		{"mms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, func(i int) bool { return mOp[i] != synth.OpSelf })},
-		{"mms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isMMS)},
-		{"p2p_sms_mo_cnt", and(mInWin, p2p, mIsMO, isSMS)},
-		{"gift_sms_mo_cnt", and(mInWin, mIsMO, func(i int) bool { return mGift[i] == 1 })},
+	msgJob := func(name string, pred func(int) bool) {
+		jobs = append(jobs, oneCol(F1Baseline, name, 0, func() map[int64]float64 {
+			return countBy(msgs, pred)
+		}))
 	}
-	for _, c := range msgCols {
-		f.AddColumn(F1Baseline, c.name, countBy(msgs, c.pred), 0)
-	}
-	f.AddColumn(F1Baseline, "distinct_serve_count",
-		distinctBy(msgs, and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService }), "peer"), 0)
+	msgJob("sms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpSelf)))
+	msgJob("sms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mOp[i] != synth.OpSelf }))
+	msgJob("sms_p2p_cm_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaMobile)))
+	msgJob("sms_p2p_ct_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, opIs(synth.OpChinaTelecom)))
+	msgJob("sms_info_mo_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgInfo }))
+	msgJob("sms_p2p_roam_int_mo_cnt", and(mInWin, p2p, mIsMO, isSMS, func(i int) bool { return mRoamInt[i] == 1 }))
+	msgJob("sms_bill_cnt", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgBilling }))
+	msgJob("sms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isSMS))
+	msgJob("serve_sms_count", and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService }))
+	msgJob("mms_cnt", and(mInWin, isMMS))
+	msgJob("mms_p2p_inner_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, opIs(synth.OpSelf)))
+	msgJob("mms_p2p_other_mo_cnt", and(mInWin, p2p, mIsMO, isMMS, func(i int) bool { return mOp[i] != synth.OpSelf }))
+	msgJob("mms_p2p_mt_cnt", and(mInWin, p2p, mIsMT, isMMS))
+	msgJob("p2p_sms_mo_cnt", and(mInWin, p2p, mIsMO, isSMS))
+	msgJob("gift_sms_mo_cnt", and(mInWin, mIsMO, func(i int) bool { return mGift[i] == 1 }))
 
-	// Billing snapshot (window's last month).
-	billing := snapshotMonth(tbl.Billing, win, daysPerMonth)
-	for _, c := range []struct{ col, name string }{
-		{"balance", "balance"},
-		{"total_charge", "total_charge"},
-		{"recharge_value", "recharge_value"},
-		{"balance_rate", "balance_rate"},
-		{"gprs_flux", "gprs_flux"},
-		{"gprs_charge", "gprs_charge"},
-		{"sms_charge", "p2p_sms_mo_charge"},
-		{"gift_flux", "gift_flux_value"},
-	} {
-		f.AddColumn(F1Baseline, c.name, colMap(billing, c.col), 0)
-	}
+	jobs = append(jobs, oneCol(F1Baseline, "distinct_serve_count", 0, func() map[int64]float64 {
+		return distinctBy(msgs, and(mInWin, func(i int) bool { return mKind[i] == synth.MsgService }), "peer")
+	}))
+
+	// Billing snapshot (window's last month) — one cheap job for all columns.
+	jobs = append(jobs, func() []column {
+		billing := snapshotMonth(tbl.Billing, win, daysPerMonth)
+		var cols []column
+		for _, c := range []struct{ col, name string }{
+			{"balance", "balance"},
+			{"total_charge", "total_charge"},
+			{"recharge_value", "recharge_value"},
+			{"balance_rate", "balance_rate"},
+			{"gprs_flux", "gprs_flux"},
+			{"gprs_charge", "gprs_charge"},
+			{"sms_charge", "p2p_sms_mo_charge"},
+			{"gift_flux", "gift_flux_value"},
+		} {
+			cols = append(cols, column{group: F1Baseline, name: c.name, values: colMap(billing, c.col)})
+		}
+		return cols
+	})
 
 	// Recharge events.
 	rech := tbl.Recharges
 	rInWin := inWindow(rech, win, daysPerMonth)
-	f.AddColumn(F1Baseline, "recharge_cnt", countBy(rech, rInWin), 0)
+	jobs = append(jobs, oneCol(F1Baseline, "recharge_cnt", 0, func() map[int64]float64 {
+		return countBy(rech, rInWin)
+	}))
 
 	// Demographics (window's last month snapshot).
-	for _, c := range []string{
-		"age", "gender", "pspt_type", "is_shanghai", "town_id", "sale_id",
-		"product_id", "product_price", "product_knd", "credit_value", "innet_dura",
-	} {
-		f.AddColumn(F1Baseline, c, colMap(cust, c), 0)
-	}
+	jobs = append(jobs, func() []column {
+		var cols []column
+		for _, c := range []string{
+			"age", "gender", "pspt_type", "is_shanghai", "town_id", "sale_id",
+			"product_id", "product_price", "product_knd", "credit_value", "innet_dura",
+		} {
+			cols = append(cols, column{group: F1Baseline, name: c, values: colMap(cust, c)})
+		}
+		return cols
+	})
 
 	// Complaints and activity spread.
-	f.AddColumn(F1Baseline, "complaint_cnt", countBy(tbl.Complaints, inWindow(tbl.Complaints, win, daysPerMonth)), 0)
-	f.AddColumn(F1Baseline, "active_call_days", distinctBy(calls, inWin, "day"), 0)
-	f.AddColumn(F1Baseline, "gprs_all_flux", sumBy(tbl.Web, inWindow(tbl.Web, win, daysPerMonth), "flux"), 0)
+	jobs = append(jobs, oneCol(F1Baseline, "complaint_cnt", 0, func() map[int64]float64 {
+		return countBy(tbl.Complaints, inWindow(tbl.Complaints, win, daysPerMonth))
+	}))
+	jobs = append(jobs, oneCol(F1Baseline, "active_call_days", 0, func() map[int64]float64 {
+		return distinctBy(calls, inWin, "day")
+	}))
+	jobs = append(jobs, oneCol(F1Baseline, "gprs_all_flux", 0, func() map[int64]float64 {
+		return sumBy(tbl.Web, inWindow(tbl.Web, win, daysPerMonth), "flux")
+	}))
 
 	// Within-window usage-trend features: the classic "declining usage"
 	// baseline churn signals every BI churn model carries. Halves are split
@@ -426,58 +485,69 @@ func addF1(f *Frame, tbl Tables, cust *table.Table, win Window, daysPerMonth int
 		ds := t.MustCol("day").Ints
 		return func(i int) float64 { return float64(AbsDay(int(ms[i]), int(ds[i]), daysPerMonth)) }
 	}
-	callAbs := absOf(calls)
-	firstHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) <= float64(mid) }), "dur")
-	secondHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) > float64(mid) }), "dur")
-	decline := make(map[int64]float64, len(firstHalfDur))
-	for id, fh := range firstHalfDur {
-		decline[id] = secondHalfDur[id] / (fh + 60)
-	}
-	for id, sh := range secondHalfDur {
-		if _, seen := firstHalfDur[id]; !seen {
-			decline[id] = sh / 60
-		}
-	}
-	f.AddColumn(F1Baseline, "call_dur_decline", decline, 0)
 
-	webAbs := absOf(tbl.Web)
-	webWin := inWindow(tbl.Web, win, daysPerMonth)
-	fhFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) <= float64(mid) }, "flux")
-	shFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) > float64(mid) }, "flux")
-	fluxDecline := make(map[int64]float64, len(fhFlux))
-	for id, fh := range fhFlux {
-		fluxDecline[id] = shFlux[id] / (fh + 5)
-	}
-	for id, sh := range shFlux {
-		if _, seen := fhFlux[id]; !seen {
-			fluxDecline[id] = sh / 5
+	jobs = append(jobs, oneCol(F1Baseline, "call_dur_decline", 0, func() map[int64]float64 {
+		callAbs := absOf(calls)
+		firstHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) <= float64(mid) }), "dur")
+		secondHalfDur := sumBy(calls, and(inWin, ok, func(i int) bool { return callAbs(i) > float64(mid) }), "dur")
+		decline := make(map[int64]float64, len(firstHalfDur))
+		for id, fh := range firstHalfDur {
+			decline[id] = secondHalfDur[id] / (fh + 60)
 		}
-	}
-	f.AddColumn(F1Baseline, "flux_decline", fluxDecline, 0)
+		for id, sh := range secondHalfDur {
+			if _, seen := firstHalfDur[id]; !seen {
+				decline[id] = sh / 60
+			}
+		}
+		return decline
+	}))
+
+	jobs = append(jobs, oneCol(F1Baseline, "flux_decline", 0, func() map[int64]float64 {
+		webAbs := absOf(tbl.Web)
+		webWin := inWindow(tbl.Web, win, daysPerMonth)
+		fhFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) <= float64(mid) }, "flux")
+		shFlux := sumBy(tbl.Web, func(i int) bool { return webWin(i) && webAbs(i) > float64(mid) }, "flux")
+		fluxDecline := make(map[int64]float64, len(fhFlux))
+		for id, fh := range fhFlux {
+			fluxDecline[id] = shFlux[id] / (fh + 5)
+		}
+		for id, sh := range shFlux {
+			if _, seen := fhFlux[id]; !seen {
+				fluxDecline[id] = sh / 5
+			}
+		}
+		return fluxDecline
+	}))
 
 	// Last day with any voice or data activity, relative to window start.
-	lastCall := maxAbsDay(calls, inWin, callAbs)
-	lastWeb := maxAbsDay(tbl.Web, webWin, webAbs)
-	lastActive := make(map[int64]float64, len(lastCall))
-	for id, v := range lastCall {
-		lastActive[id] = v - float64(win.FromAbs) + 1
-	}
-	for id, v := range lastWeb {
-		rel := v - float64(win.FromAbs) + 1
-		if rel > lastActive[id] {
-			lastActive[id] = rel
+	jobs = append(jobs, oneCol(F1Baseline, "last_active_day", 0, func() map[int64]float64 {
+		webWin := inWindow(tbl.Web, win, daysPerMonth)
+		lastCall := maxAbsDay(calls, inWin, absOf(calls))
+		lastWeb := maxAbsDay(tbl.Web, webWin, absOf(tbl.Web))
+		lastActive := make(map[int64]float64, len(lastCall))
+		for id, v := range lastCall {
+			lastActive[id] = v - float64(win.FromAbs) + 1
 		}
-	}
-	f.AddColumn(F1Baseline, "last_active_day", lastActive, 0)
+		for id, v := range lastWeb {
+			rel := v - float64(win.FromAbs) + 1
+			if rel > lastActive[id] {
+				lastActive[id] = rel
+			}
+		}
+		return lastActive
+	}))
 
 	// Last recharge day relative to window start (0 = none in window).
-	rechAbs := absOf(rech)
-	lastRecharge := maxAbsDay(rech, rInWin, rechAbs)
-	lastRechargeRel := make(map[int64]float64, len(lastRecharge))
-	for id, v := range lastRecharge {
-		lastRechargeRel[id] = v - float64(win.FromAbs) + 1
-	}
-	f.AddColumn(F1Baseline, "last_recharge_day", lastRechargeRel, 0)
+	jobs = append(jobs, oneCol(F1Baseline, "last_recharge_day", 0, func() map[int64]float64 {
+		lastRecharge := maxAbsDay(rech, rInWin, absOf(rech))
+		lastRechargeRel := make(map[int64]float64, len(lastRecharge))
+		for id, v := range lastRecharge {
+			lastRechargeRel[id] = v - float64(win.FromAbs) + 1
+		}
+		return lastRechargeRel
+	}))
+
+	return jobs
 }
 
 // maxAbsDay returns each customer's maximum absolute event day.
@@ -496,7 +566,7 @@ func maxAbsDay(t *table.Table, pred func(int) bool, abs func(int) float64) map[i
 	return out
 }
 
-func addF2(f *Frame, tbl Tables, win Window, daysPerMonth int) {
+func f2Jobs(tbl Tables, win Window, daysPerMonth int) []colJob {
 	calls := tbl.Calls
 	inWin := inWindow(calls, win, daysPerMonth)
 	success := calls.MustCol("success").Ints
@@ -507,19 +577,24 @@ func addF2(f *Frame, tbl Tables, win Window, daysPerMonth int) {
 	real := func(i int) bool { return inWin(i) && svc[i] == 0 }
 	okPred := func(i int) bool { return real(i) && success[i] == 1 }
 
-	attempts := countBy(calls, real)
-	successes := countBy(calls, okPred)
-	drops := countBy(calls, func(i int) bool { return real(i) && dropped[i] == 1 })
-
-	f.AddColumn(F2CS, "call_success_rate", ratio(successes, attempts, 1), 1)
-	f.AddColumn(F2CS, "e2e_conn_delay", meanBy(calls, okPred, "conn_delay"), 0)
-	f.AddColumn(F2CS, "call_drop_rate", ratio(drops, successes, 0), 0)
-	f.AddColumn(F2CS, "uplink_mos", meanBy(calls, okPred, "mos_ul"), 0)
-	f.AddColumn(F2CS, "voice_quality", meanBy(calls, okPred, "mos_dl"), 0)
-	f.AddColumn(F2CS, "ip_mos", meanBy(calls, okPred, "mos_ip"), 0)
-	f.AddColumn(F2CS, "oneway_audio_cnt", sumByInt(calls, real, "oneway"), 0)
-	f.AddColumn(F2CS, "noise_cnt", sumByInt(calls, real, "noise"), 0)
-	f.AddColumn(F2CS, "echo_cnt", sumByInt(calls, real, "echo"), 0)
+	return []colJob{
+		oneCol(F2CS, "call_success_rate", 1, func() map[int64]float64 {
+			return ratio(countBy(calls, okPred), countBy(calls, real), 1)
+		}),
+		oneCol(F2CS, "e2e_conn_delay", 0, func() map[int64]float64 {
+			return meanBy(calls, okPred, "conn_delay")
+		}),
+		oneCol(F2CS, "call_drop_rate", 0, func() map[int64]float64 {
+			drops := countBy(calls, func(i int) bool { return real(i) && dropped[i] == 1 })
+			return ratio(drops, countBy(calls, okPred), 0)
+		}),
+		oneCol(F2CS, "uplink_mos", 0, func() map[int64]float64 { return meanBy(calls, okPred, "mos_ul") }),
+		oneCol(F2CS, "voice_quality", 0, func() map[int64]float64 { return meanBy(calls, okPred, "mos_dl") }),
+		oneCol(F2CS, "ip_mos", 0, func() map[int64]float64 { return meanBy(calls, okPred, "mos_ip") }),
+		oneCol(F2CS, "oneway_audio_cnt", 0, func() map[int64]float64 { return sumByInt(calls, real, "oneway") }),
+		oneCol(F2CS, "noise_cnt", 0, func() map[int64]float64 { return sumByInt(calls, real, "noise") }),
+		oneCol(F2CS, "echo_cnt", 0, func() map[int64]float64 { return sumByInt(calls, real, "echo") }),
+	}
 }
 
 // sumByInt sums an Int64 column per customer.
@@ -527,105 +602,112 @@ func sumByInt(t *table.Table, pred func(int) bool, col string) map[int64]float64
 	return sumBy(t, pred, col)
 }
 
-func addF3(f *Frame, tbl Tables, win Window, daysPerMonth int) {
+func f3Jobs(tbl Tables, win Window, daysPerMonth int) []colJob {
 	web := tbl.Web
 	inWin := inWindow(web, win, daysPerMonth)
 
-	pageReq := sumBy(web, inWin, "page_req")
-	pageSucc := sumBy(web, inWin, "page_succ")
-	browseSucc := sumBy(web, inWin, "browse_succ")
-	tcpOK := sumBy(web, inWin, "tcp_ok")
-	tcpAtt := sumBy(web, inWin, "tcp_att")
-	emailCnt := sumBy(web, inWin, "email_cnt")
-	emailOK := sumBy(web, inWin, "email_ok")
-
-	f.AddColumn(F3PS, "page_response_success_rate", ratio(pageSucc, pageReq, 1), 1)
-	f.AddColumn(F3PS, "page_response_delay", meanBy(web, inWin, "resp_delay"), 0)
-	f.AddColumn(F3PS, "page_browsing_success_rate", ratio(browseSucc, pageSucc, 1), 1)
-	f.AddColumn(F3PS, "page_browsing_delay", meanBy(web, inWin, "browse_delay"), 0)
-	f.AddColumn(F3PS, "page_download_throughput", meanBy(web, inWin, "dl_tp"), 0)
-	f.AddColumn(F3PS, "upload_throughput", meanBy(web, inWin, "ul_tp"), 0)
-	f.AddColumn(F3PS, "ps_flux", sumBy(web, inWin, "flux"), 0)
-	f.AddColumn(F3PS, "tcp_conn_rate", ratio(tcpOK, tcpAtt, 1), 1)
-	f.AddColumn(F3PS, "tcp_rtt", meanBy(web, inWin, "tcp_rtt"), 0)
-	f.AddColumn(F3PS, "streaming_filesize", sumBy(web, inWin, "stream_size"), 0)
-	f.AddColumn(F3PS, "streaming_dw_packets", sumBy(web, inWin, "stream_pkts"), 0)
-	f.AddColumn(F3PS, "email_cnt", emailCnt, 0)
-	f.AddColumn(F3PS, "email_success_rate", ratio(emailOK, emailCnt, 1), 1)
-	f.AddColumn(F3PS, "ps_active_days", distinctBy(web, inWin, "day"), 0)
-	f.AddColumn(F3PS, "page_cnt", pageReq, 0)
-	f.AddColumn(F3PS, "page_size_mean", meanBy(web, inWin, "page_size"), 0)
-
-	addTopLocations(f, tbl, win, daysPerMonth)
+	jobs := []colJob{
+		oneCol(F3PS, "page_response_success_rate", 1, func() map[int64]float64 {
+			return ratio(sumBy(web, inWin, "page_succ"), sumBy(web, inWin, "page_req"), 1)
+		}),
+		oneCol(F3PS, "page_response_delay", 0, func() map[int64]float64 { return meanBy(web, inWin, "resp_delay") }),
+		oneCol(F3PS, "page_browsing_success_rate", 1, func() map[int64]float64 {
+			return ratio(sumBy(web, inWin, "browse_succ"), sumBy(web, inWin, "page_succ"), 1)
+		}),
+		oneCol(F3PS, "page_browsing_delay", 0, func() map[int64]float64 { return meanBy(web, inWin, "browse_delay") }),
+		oneCol(F3PS, "page_download_throughput", 0, func() map[int64]float64 { return meanBy(web, inWin, "dl_tp") }),
+		oneCol(F3PS, "upload_throughput", 0, func() map[int64]float64 { return meanBy(web, inWin, "ul_tp") }),
+		oneCol(F3PS, "ps_flux", 0, func() map[int64]float64 { return sumBy(web, inWin, "flux") }),
+		oneCol(F3PS, "tcp_conn_rate", 1, func() map[int64]float64 {
+			return ratio(sumBy(web, inWin, "tcp_ok"), sumBy(web, inWin, "tcp_att"), 1)
+		}),
+		oneCol(F3PS, "tcp_rtt", 0, func() map[int64]float64 { return meanBy(web, inWin, "tcp_rtt") }),
+		oneCol(F3PS, "streaming_filesize", 0, func() map[int64]float64 { return sumBy(web, inWin, "stream_size") }),
+		oneCol(F3PS, "streaming_dw_packets", 0, func() map[int64]float64 { return sumBy(web, inWin, "stream_pkts") }),
+		oneCol(F3PS, "email_cnt", 0, func() map[int64]float64 { return sumBy(web, inWin, "email_cnt") }),
+		oneCol(F3PS, "email_success_rate", 1, func() map[int64]float64 {
+			return ratio(sumBy(web, inWin, "email_ok"), sumBy(web, inWin, "email_cnt"), 1)
+		}),
+		oneCol(F3PS, "ps_active_days", 0, func() map[int64]float64 { return distinctBy(web, inWin, "day") }),
+		oneCol(F3PS, "page_cnt", 0, func() map[int64]float64 { return sumBy(web, inWin, "page_req") }),
+		oneCol(F3PS, "page_size_mean", 0, func() map[int64]float64 { return meanBy(web, inWin, "page_size") }),
+	}
+	jobs = append(jobs, topLocationJob(tbl, win, daysPerMonth))
+	return jobs
 }
 
-// addTopLocations adds the top-5 most frequent stay locations (lat/lon
+// topLocationJob computes the top-5 most frequent stay locations (lat/lon
 // pairs) from MR data — 10 F3 features per the paper (minus one slot used
-// by page_size_mean above, keeping the group at 25 columns).
-func addTopLocations(f *Frame, tbl Tables, win Window, daysPerMonth int) {
-	loc := tbl.Locations
-	inWin := inWindow(loc, win, daysPerMonth)
-	imsi := loc.MustCol("imsi").Ints
-	cellCol := loc.MustCol("cell").Ints
-	latCol := loc.MustCol("lat").Floats
-	lonCol := loc.MustCol("lon").Floats
+// by page_size_mean above, keeping the group at 25 columns). One scan feeds
+// all nine columns, so it is a single multi-column job.
+func topLocationJob(tbl Tables, win Window, daysPerMonth int) colJob {
+	return func() []column {
+		loc := tbl.Locations
+		inWin := inWindow(loc, win, daysPerMonth)
+		imsi := loc.MustCol("imsi").Ints
+		cellCol := loc.MustCol("cell").Ints
+		latCol := loc.MustCol("lat").Floats
+		lonCol := loc.MustCol("lon").Floats
 
-	type cellStat struct {
-		count    int
-		lat, lon float64
-	}
-	perCustomer := make(map[int64]map[int64]*cellStat)
-	n := loc.NumRows()
-	for i := 0; i < n; i++ {
-		if !inWin(i) {
-			continue
+		type cellStat struct {
+			count    int
+			lat, lon float64
 		}
-		id := imsi[i]
-		cells := perCustomer[id]
-		if cells == nil {
-			cells = make(map[int64]*cellStat)
-			perCustomer[id] = cells
-		}
-		cs := cells[cellCol[i]]
-		if cs == nil {
-			cs = &cellStat{lat: latCol[i], lon: lonCol[i]}
-			cells[cellCol[i]] = cs
-		}
-		cs.count++
-	}
-
-	const topN = 4 // 4 locations x 2 coords = 8 columns; +visit spread = 9
-	lats := make([]map[int64]float64, topN)
-	lons := make([]map[int64]float64, topN)
-	for k := range lats {
-		lats[k] = make(map[int64]float64)
-		lons[k] = make(map[int64]float64)
-	}
-	distinctCells := make(map[int64]float64)
-	for id, cells := range perCustomer {
-		type kv struct {
-			cell int64
-			st   *cellStat
-		}
-		ranked := make([]kv, 0, len(cells))
-		for c, st := range cells {
-			ranked = append(ranked, kv{c, st})
-		}
-		sort.Slice(ranked, func(a, b int) bool {
-			if ranked[a].st.count != ranked[b].st.count {
-				return ranked[a].st.count > ranked[b].st.count
+		perCustomer := make(map[int64]map[int64]*cellStat)
+		n := loc.NumRows()
+		for i := 0; i < n; i++ {
+			if !inWin(i) {
+				continue
 			}
-			return ranked[a].cell < ranked[b].cell
-		})
-		for k := 0; k < topN && k < len(ranked); k++ {
-			lats[k][id] = ranked[k].st.lat
-			lons[k][id] = ranked[k].st.lon
+			id := imsi[i]
+			cells := perCustomer[id]
+			if cells == nil {
+				cells = make(map[int64]*cellStat)
+				perCustomer[id] = cells
+			}
+			cs := cells[cellCol[i]]
+			if cs == nil {
+				cs = &cellStat{lat: latCol[i], lon: lonCol[i]}
+				cells[cellCol[i]] = cs
+			}
+			cs.count++
 		}
-		distinctCells[id] = float64(len(cells))
+
+		const topN = 4 // 4 locations x 2 coords = 8 columns; +visit spread = 9
+		lats := make([]map[int64]float64, topN)
+		lons := make([]map[int64]float64, topN)
+		for k := range lats {
+			lats[k] = make(map[int64]float64)
+			lons[k] = make(map[int64]float64)
+		}
+		distinctCells := make(map[int64]float64)
+		for id, cells := range perCustomer {
+			type kv struct {
+				cell int64
+				st   *cellStat
+			}
+			ranked := make([]kv, 0, len(cells))
+			for c, st := range cells {
+				ranked = append(ranked, kv{c, st})
+			}
+			sort.Slice(ranked, func(a, b int) bool {
+				if ranked[a].st.count != ranked[b].st.count {
+					return ranked[a].st.count > ranked[b].st.count
+				}
+				return ranked[a].cell < ranked[b].cell
+			})
+			for k := 0; k < topN && k < len(ranked); k++ {
+				lats[k][id] = ranked[k].st.lat
+				lons[k][id] = ranked[k].st.lon
+			}
+			distinctCells[id] = float64(len(cells))
+		}
+		var cols []column
+		for k := 0; k < topN; k++ {
+			cols = append(cols, column{group: F3PS, name: fmt.Sprintf("loc_top%d_lat", k+1), values: lats[k]})
+			cols = append(cols, column{group: F3PS, name: fmt.Sprintf("loc_top%d_lon", k+1), values: lons[k]})
+		}
+		cols = append(cols, column{group: F3PS, name: "loc_distinct_cells", values: distinctCells})
+		return cols
 	}
-	for k := 0; k < topN; k++ {
-		f.AddColumn(F3PS, fmt.Sprintf("loc_top%d_lat", k+1), lats[k], 0)
-		f.AddColumn(F3PS, fmt.Sprintf("loc_top%d_lon", k+1), lons[k], 0)
-	}
-	f.AddColumn(F3PS, "loc_distinct_cells", distinctCells, 0)
 }

@@ -59,7 +59,7 @@ func TestGroupCountsMatchPaper(t *testing.T) {
 		PrevChurners: ChurnersOf(months[1].Truth),
 		StableSample: StableOf(months[1].Truth, 10),
 	}
-	AddGraphFeatures(frame, tbl, win, days, in)
+	AddGraphFeatures(frame, tbl, win, days, in, 0)
 	counts = map[Group]int{}
 	for _, g := range frame.Groups() {
 		counts[g]++

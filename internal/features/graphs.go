@@ -2,6 +2,7 @@ package features
 
 import (
 	"telcochurn/internal/graph"
+	"telcochurn/internal/parallel"
 	"telcochurn/internal/table"
 )
 
@@ -75,13 +76,21 @@ func BuildCooccurrenceGraph(tbl Tables, win Window, daysPerMonth int, isCustomer
 		cell int64
 	}
 	members := make(map[cube][]int64)
+	// Cubes are emitted in first-seen order, not map order: edge insertion
+	// order fixes the adjacency-list fold order of later PageRank sweeps, so
+	// it must depend only on the input rows for graph scores to be
+	// reproducible bit for bit.
+	var order []cube
 	n := loc.NumRows()
 	for i := 0; i < n; i++ {
 		if !inWin(i) || !isCustomer(imsi[i]) {
 			continue
 		}
 		c := cube{abs: month[i]*64 + day[i], slot: slot[i], cell: cell[i]}
-		m := members[c]
+		m, seen := members[c]
+		if !seen {
+			order = append(order, c)
+		}
 		if len(m) >= cubeCap {
 			continue
 		}
@@ -97,7 +106,8 @@ func BuildCooccurrenceGraph(tbl Tables, win Window, daysPerMonth int, isCustomer
 			members[c] = append(m, imsi[i])
 		}
 	}
-	for _, m := range members {
+	for _, c := range order {
+		m := members[c]
 		for a := 0; a < len(m); a++ {
 			for b := a + 1; b < len(m); b++ {
 				g.AddEdge(m[a], m[b], 1)
@@ -122,20 +132,24 @@ type GraphFeatureInput struct {
 
 // AddGraphFeatures computes PageRank and label-propagation features on the
 // three graphs and adds the six F4-F6 columns (paper names from Table 4).
-func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in GraphFeatureInput) {
+// The three graphs build and iterate concurrently across `workers`
+// goroutines (0 = GOMAXPROCS) and the per-graph algorithms parallelize
+// internally; columns land in fixed graph order, so the frame is
+// bit-identical for any worker count.
+func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in GraphFeatureInput, workers int) {
 	isCustomer := func(id int64) bool {
 		_, ok := f.index[id]
 		return ok || in.PrevChurners[id]
 	}
-	type namedGraph struct {
-		g      *graph.Graph
+	type graphSpec struct {
+		build  func(Tables, Window, int, func(int64) bool) *graph.Graph
 		group  Group
 		suffix string
 	}
-	graphs := []namedGraph{
-		{BuildCallGraph(tbl, win, daysPerMonth, isCustomer), F4CallGraph, "voice"},
-		{BuildMessageGraph(tbl, win, daysPerMonth, isCustomer), F5MessageGraph, "message"},
-		{BuildCooccurrenceGraph(tbl, win, daysPerMonth, isCustomer), F6CooccurrenceGraph, "cooccurrence"},
+	specs := []graphSpec{
+		{BuildCallGraph, F4CallGraph, "voice"},
+		{BuildMessageGraph, F5MessageGraph, "message"},
+		{BuildCooccurrenceGraph, F6CooccurrenceGraph, "cooccurrence"},
 	}
 
 	seeds := make(map[int64]int)
@@ -148,22 +162,32 @@ func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in Gra
 		}
 	}
 
-	for _, ng := range graphs {
-		pr := ng.g.PageRank(graph.PageRankOptions{})
+	type graphCols struct {
+		pr, lp map[int64]float64
+	}
+	results := make([]graphCols, len(specs))
+	parallel.ForGrain(workers, len(specs), 1, func(i int) {
+		g := specs[i].build(tbl, win, daysPerMonth, isCustomer)
+
+		pr := g.PageRank(graph.PageRankOptions{Workers: workers})
 		prCol := make(map[int64]float64, len(pr))
 		// Scale by vertex count so the feature is population-size invariant.
-		nv := float64(ng.g.NumVertices())
+		nv := float64(g.NumVertices())
 		for id, v := range pr {
 			prCol[id] = v * nv
 		}
-		f.AddColumn(ng.group, "pagerank_"+ng.suffix, prCol, 0)
 
-		lp := ng.g.LabelPropagation(seeds, 2, graph.LabelPropOptions{})
+		lp := g.LabelPropagation(seeds, 2, graph.LabelPropOptions{Workers: workers})
 		lpCol := make(map[int64]float64, len(lp))
 		for id, probs := range lp {
 			lpCol[id] = probs[1]
 		}
-		f.AddColumn(ng.group, "labelpropagation_"+ng.suffix, lpCol, 0.5)
+		results[i] = graphCols{pr: prCol, lp: lpCol}
+	})
+
+	for i, spec := range specs {
+		f.AddColumn(spec.group, "pagerank_"+spec.suffix, results[i].pr, 0)
+		f.AddColumn(spec.group, "labelpropagation_"+spec.suffix, results[i].lp, 0.5)
 	}
 }
 

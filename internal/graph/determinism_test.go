@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a reproducible scale-ish-free test graph.
+func randomGraph(n, edges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(int64(i))
+	}
+	for e := 0; e < edges; e++ {
+		a := int64(rng.Intn(n))
+		b := int64(rng.Intn(n))
+		g.AddEdge(a, b, 0.1+rng.Float64()*10)
+	}
+	return g
+}
+
+// TestPageRankDeterministicAcrossWorkers asserts the hard guarantee the
+// parallel refactor promises: the same graph yields bit-identical ranks for
+// any worker count (gather sweeps + chunk-ordered delta reduction).
+func TestPageRankDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(2000, 6000, 3)
+	ref := g.PageRank(PageRankOptions{Workers: 1})
+	for _, w := range []int{2, 4, 8} {
+		got := g.PageRank(PageRankOptions{Workers: w})
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d ranks, want %d", w, len(got), len(ref))
+		}
+		for id, v := range ref {
+			if got[id] != v {
+				t.Fatalf("workers=%d: rank of %d = %v, want exactly %v", w, id, got[id], v)
+			}
+		}
+	}
+}
+
+func TestLabelPropagationDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(1500, 5000, 9)
+	seeds := map[int64]int{}
+	for i := 0; i < 1500; i += 7 {
+		seeds[int64(i)] = i % 3
+	}
+	ref := g.LabelPropagation(seeds, 3, LabelPropOptions{Workers: 1})
+	for _, w := range []int{2, 8} {
+		got := g.LabelPropagation(seeds, 3, LabelPropOptions{Workers: w})
+		for id, probs := range ref {
+			for c := range probs {
+				if got[id][c] != probs[c] {
+					t.Fatalf("workers=%d: vertex %d class %d = %v, want exactly %v",
+						w, id, c, got[id][c], probs[c])
+				}
+			}
+		}
+	}
+}

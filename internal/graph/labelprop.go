@@ -1,5 +1,7 @@
 package graph
 
+import "telcochurn/internal/parallel"
+
 // LabelPropOptions configures label propagation.
 type LabelPropOptions struct {
 	// MaxIters bounds the number of sweeps (default 30).
@@ -7,6 +9,9 @@ type LabelPropOptions struct {
 	// Tolerance stops iteration when per-vertex L1 change falls below it
 	// (default 1e-6).
 	Tolerance float64
+	// Workers caps sweep parallelism; 0 means GOMAXPROCS. The result is
+	// bit-identical for any value.
+	Workers int
 }
 
 func (o LabelPropOptions) withDefaults() LabelPropOptions {
@@ -59,53 +64,60 @@ func (g *Graph) LabelPropagation(seeds map[int64]int, numClasses int, opts Label
 		next[i] = make([]float64, numClasses)
 	}
 
+	// The sweep is already a gather (row i reads y, writes only next[i]), so
+	// rows parallelize freely across the double buffers; per-chunk deltas
+	// merge in chunk order, keeping the result bit-identical for any Workers.
 	for iter := 0; iter < opts.MaxIters; iter++ {
-		delta := 0.0
-		for i, edges := range g.adj {
-			if fixed[i] != 0 {
-				copy(next[i], y[i])
-				continue
-			}
-			row := next[i]
-			for c := range row {
-				row[c] = 0
-			}
-			if len(edges) == 0 {
-				// Isolated unlabeled vertex: stays uniform.
+		delta := parallel.SumChunks(opts.Workers, n, vertexGrain, func(lo, hi int) float64 {
+			dl := 0.0
+			for i := lo; i < hi; i++ {
+				edges := g.adj[i]
+				if fixed[i] != 0 {
+					copy(next[i], y[i])
+					continue
+				}
+				row := next[i]
 				for c := range row {
-					row[c] = 1.0 / float64(numClasses)
+					row[c] = 0
 				}
-				continue
-			}
-			// Step 1: Y <- W Y restricted to row i.
-			for _, e := range edges {
-				src := y[e.to]
+				if len(edges) == 0 {
+					// Isolated unlabeled vertex: stays uniform.
+					for c := range row {
+						row[c] = 1.0 / float64(numClasses)
+					}
+					continue
+				}
+				// Step 1: Y <- W Y restricted to row i.
+				for _, e := range edges {
+					src := y[e.to]
+					for c := range row {
+						row[c] += e.weight * src[c]
+					}
+				}
+				// Step 2: row-normalize.
+				sum := 0.0
+				for _, v := range row {
+					sum += v
+				}
+				if sum > 0 {
+					for c := range row {
+						row[c] /= sum
+					}
+				} else {
+					for c := range row {
+						row[c] = 1.0 / float64(numClasses)
+					}
+				}
 				for c := range row {
-					row[c] += e.weight * src[c]
+					diff := row[c] - y[i][c]
+					if diff < 0 {
+						diff = -diff
+					}
+					dl += diff
 				}
 			}
-			// Step 2: row-normalize.
-			sum := 0.0
-			for _, v := range row {
-				sum += v
-			}
-			if sum > 0 {
-				for c := range row {
-					row[c] /= sum
-				}
-			} else {
-				for c := range row {
-					row[c] = 1.0 / float64(numClasses)
-				}
-			}
-			for c := range row {
-				diff := row[c] - y[i][c]
-				if diff < 0 {
-					diff = -diff
-				}
-				delta += diff
-			}
-		}
+			return dl
+		})
 		y, next = next, y
 		if delta < opts.Tolerance*float64(n) {
 			break

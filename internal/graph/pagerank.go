@@ -1,5 +1,12 @@
 package graph
 
+import "telcochurn/internal/parallel"
+
+// vertexGrain is the chunk size for per-vertex parallel sweeps. Chunk
+// boundaries depend only on the vertex count, so chunked reductions (dangling
+// mass, convergence delta) merge in the same order for any worker count.
+const vertexGrain = 512
+
 // PageRankOptions configures the weighted PageRank iteration of Eq. (1).
 type PageRankOptions struct {
 	// Damping is the paper's d (default 0.85).
@@ -9,6 +16,9 @@ type PageRankOptions struct {
 	// Tolerance stops iteration when the L1 change per vertex falls below it
 	// (default 1e-9).
 	Tolerance float64
+	// Workers caps sweep parallelism; 0 means GOMAXPROCS. The result is
+	// bit-identical for any value.
+	Workers int
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -34,6 +44,11 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 // comparable across graphs of different sizes). Isolated vertices receive
 // the teleport mass (1-d)/N plus their share of dangling redistribution.
 //
+// Each sweep is a gather: vertex m reads the previous iteration's scores of
+// its neighbors from the front buffer and writes only next[m] in the back
+// buffer, so vertices parallelize freely, and each vertex sums its adjacency
+// list in a fixed order — the scores are bit-identical for any Workers.
+//
 // Returns a map from vertex ID to rank.
 func (g *Graph) PageRank(opts PageRankOptions) map[int64]float64 {
 	opts = opts.withDefaults()
@@ -42,41 +57,43 @@ func (g *Graph) PageRank(opts PageRankOptions) map[int64]float64 {
 		return map[int64]float64{}
 	}
 	d := opts.Damping
+	inv := 1.0 / float64(n)
 	x := make([]float64, n)
 	next := make([]float64, n)
 	for i := range x {
-		x[i] = 1.0 / float64(n)
+		x[i] = inv
 	}
-	base := (1 - d) / float64(n)
+	base := (1 - d) * inv
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		// Mass from dangling (isolated) vertices is redistributed uniformly,
 		// preserving sum(x)=1.
-		dangling := 0.0
-		for i := range next {
-			next[i] = 0
-			if g.degree[i] == 0 {
-				dangling += x[i]
+		dangling := parallel.SumChunks(opts.Workers, n, vertexGrain, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				if g.degree[i] == 0 {
+					s += x[i]
+				}
 			}
-		}
-		spread := d * dangling / float64(n)
-		for i, edges := range g.adj {
-			if g.degree[i] == 0 {
-				continue
+			return s
+		})
+		spread := d * dangling * inv
+		delta := parallel.SumChunks(opts.Workers, n, vertexGrain, func(lo, hi int) float64 {
+			dl := 0.0
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for _, e := range g.adj[i] {
+					sum += x[e.to] / g.degree[e.to] * e.weight
+				}
+				v := base + spread + d*sum
+				next[i] = v
+				diff := v - x[i]
+				if diff < 0 {
+					diff = -diff
+				}
+				dl += diff
 			}
-			share := d * x[i] / g.degree[i]
-			for _, e := range edges {
-				next[e.to] += share * e.weight
-			}
-		}
-		delta := 0.0
-		for i := range next {
-			next[i] += base + spread
-			diff := next[i] - x[i]
-			if diff < 0 {
-				diff = -diff
-			}
-			delta += diff
-		}
+			return dl
+		})
 		x, next = next, x
 		if delta < opts.Tolerance*float64(n) {
 			break

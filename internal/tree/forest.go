@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"telcochurn/internal/dataset"
+	"telcochurn/internal/parallel"
 )
 
 // ForestConfig configures a random forest. The defaults follow Section 4.2:
@@ -50,6 +50,7 @@ type Forest struct {
 	numClasses int
 	importance []float64 // normalized Gini importance per feature
 	features   []string
+	workers    int // scoring parallelism carried over from ForestConfig
 }
 
 // FitForest trains a random forest with bootstrap aggregating over CART
@@ -70,28 +71,21 @@ func FitForest(d *dataset.Dataset, cfg ForestConfig) (*Forest, error) {
 		numClasses = 2
 	}
 
+	// Each tree draws from its own RNG stream keyed by tree index, so the
+	// ensemble is bit-identical for any worker count.
 	trees := make([]*Tree, cfg.NumTrees)
 	errs := make([]error, cfg.NumTrees)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for t := 0; t < cfg.NumTrees; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
-			boot := bootstrap(d, rng)
-			tr, err := fitTreeWithClasses(boot, Config{
-				MinLeafSamples:   cfg.MinLeafSamples,
-				MaxDepth:         cfg.MaxDepth,
-				FeaturesPerSplit: cfg.FeaturesPerSplit,
-				Seed:             cfg.Seed + int64(t)*7_000_003,
-			}, numClasses)
-			trees[t], errs[t] = tr, err
-		}(t)
-	}
-	wg.Wait()
+	parallel.ForGrain(cfg.Workers, cfg.NumTrees, 1, func(t int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
+		boot := bootstrap(d, rng)
+		tr, err := fitTreeWithClasses(boot, Config{
+			MinLeafSamples:   cfg.MinLeafSamples,
+			MaxDepth:         cfg.MaxDepth,
+			FeaturesPerSplit: cfg.FeaturesPerSplit,
+			Seed:             cfg.Seed + int64(t)*7_000_003,
+		}, numClasses)
+		trees[t], errs[t] = tr, err
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -113,7 +107,7 @@ func FitForest(d *dataset.Dataset, cfg ForestConfig) (*Forest, error) {
 			imp[f] /= total
 		}
 	}
-	return &Forest{trees: trees, numClasses: numClasses, importance: imp, features: d.FeatureNames}, nil
+	return &Forest{trees: trees, numClasses: numClasses, importance: imp, features: d.FeatureNames, workers: cfg.Workers}, nil
 }
 
 // fitTreeWithClasses is FitTree with an externally fixed class count, so a
@@ -210,7 +204,7 @@ func (f *Forest) Predict(x []float64) int {
 // ScoreAll scores many instances in parallel, returning class-1 likelihoods.
 func (f *Forest) ScoreAll(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	parallelFor(len(x), func(i int) {
+	parallel.For(f.workers, len(x), func(i int) {
 		out[i] = f.Score(x[i])
 	})
 	return out
@@ -219,7 +213,7 @@ func (f *Forest) ScoreAll(x [][]float64) []float64 {
 // PredictAll predicts classes for many instances in parallel.
 func (f *Forest) PredictAll(x [][]float64) []int {
 	out := make([]int, len(x))
-	parallelFor(len(x), func(i int) {
+	parallel.For(f.workers, len(x), func(i int) {
 		out[i] = f.Predict(x[i])
 	})
 	return out
@@ -239,36 +233,3 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 
 // NumClasses returns the class count.
 func (f *Forest) NumClasses() int { return f.numClasses }
-
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"telcochurn/internal/dataset"
+	"telcochurn/internal/parallel"
 )
 
 // GBDTConfig configures gradient boosted decision trees for binary
@@ -145,7 +146,7 @@ func (g *GBDT) Score(x []float64) float64 {
 // ScoreAll scores many instances in parallel.
 func (g *GBDT) ScoreAll(x [][]float64) []float64 {
 	out := make([]float64, len(x))
-	parallelFor(len(x), func(i int) {
+	parallel.For(0, len(x), func(i int) {
 		out[i] = g.Score(x[i])
 	})
 	return out

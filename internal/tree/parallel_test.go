@@ -1,0 +1,98 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"telcochurn/internal/dataset"
+)
+
+// synthDataset builds a small labeled dataset with a learnable signal.
+func synthDataset(n, feats int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New(make([]string, feats))
+	for j := range d.FeatureNames {
+		d.FeatureNames[j] = "f" + string(rune('a'+j%26))
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y := 0
+		if row[0]-row[1] > 0.3 {
+			y = 1
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// TestFitForestDeterministicAcrossWorkers is the model half of the pipeline
+// determinism guarantee: identical seeds must yield bit-identical forests
+// for any Workers setting.
+func TestFitForestDeterministicAcrossWorkers(t *testing.T) {
+	d := synthDataset(600, 8, 7)
+	cfg := ForestConfig{NumTrees: 40, MinLeafSamples: 10, Seed: 5}
+
+	cfg.Workers = 1
+	f1, err := FitForest(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	f8, err := FitForest(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := f1.ScoreAll(d.X)
+	s8 := f8.ScoreAll(d.X)
+	for i := range s1 {
+		if s1[i] != s8[i] {
+			t.Fatalf("score %d differs across worker counts: %v vs %v", i, s1[i], s8[i])
+		}
+	}
+	i1, i8 := f1.Importance(), f8.Importance()
+	for j := range i1 {
+		if i1[j] != i8[j] {
+			t.Fatalf("importance %d differs across worker counts: %v vs %v", j, i1[j], i8[j])
+		}
+	}
+}
+
+func TestScoreAllEmptyAndSingle(t *testing.T) {
+	d := synthDataset(300, 5, 3)
+	f, err := FitForest(d, ForestConfig{NumTrees: 15, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ScoreAll(nil); len(got) != 0 {
+		t.Errorf("ScoreAll(nil) = %v, want empty", got)
+	}
+	one := f.ScoreAll(d.X[:1])
+	if len(one) != 1 || one[0] != f.Score(d.X[0]) {
+		t.Errorf("single-row ScoreAll = %v, want [%v]", one, f.Score(d.X[0]))
+	}
+}
+
+func TestScoreAllLargeBatchMatchesScore(t *testing.T) {
+	d := synthDataset(900, 6, 11)
+	f, err := FitForest(d, ForestConfig{NumTrees: 25, MinLeafSamples: 10, Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := f.ScoreAll(d.X)
+	for i, s := range batch {
+		if s != f.Score(d.X[i]) {
+			t.Fatalf("row %d: batch score %v != single score %v", i, s, f.Score(d.X[i]))
+		}
+	}
+	preds := f.PredictAll(d.X)
+	for i, p := range preds {
+		if p != f.Predict(d.X[i]) {
+			t.Fatalf("row %d: batch predict %d != single predict %d", i, p, f.Predict(d.X[i]))
+		}
+	}
+}
