@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-profile ci experiments examples clean
 
 all: build vet test
 
@@ -36,7 +36,13 @@ bench:
 # Single-iteration benchmark pass: proves every benchmark still runs without
 # paying for stable timings (mirrors the CI smoke job).
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# CPU + heap profiles of the tree-training benchmarks; inspect with
+# `go tool pprof cpu.out` / `go tool pprof mem.out` (see DESIGN.md §8).
+bench-profile:
+	$(GO) test -run='^$$' -bench='BenchmarkRandomForestFit|BenchmarkTreeFit' \
+		-benchtime=5x -benchmem -cpuprofile=cpu.out -memprofile=mem.out .
 
 # Everything the CI workflow checks, in the same order.
 ci: build vet fmt-check test-race bench-smoke
@@ -54,4 +60,4 @@ examples:
 	$(GO) run ./examples/root_cause
 
 clean:
-	rm -rf warehouse churn-model.bin
+	rm -rf warehouse churn-model.bin cpu.out mem.out telcochurn.test

@@ -211,7 +211,9 @@ func BenchmarkLDAFit(b *testing.B) {
 	}
 }
 
-func BenchmarkRandomForestFit(b *testing.B) {
+// benchForestData builds the shared tree-benchmark dataset: 3000 rows × 40
+// continuous features with a two-feature signal.
+func benchForestData() *dataset.Dataset {
 	rng := rand.New(rand.NewSource(1))
 	d := dataset.New(make([]string, 40))
 	for j := range d.FeatureNames {
@@ -229,11 +231,37 @@ func BenchmarkRandomForestFit(b *testing.B) {
 		d.X = append(d.X, row)
 		d.Y = append(d.Y, y)
 	}
+	return d
+}
+
+// BenchmarkTreeFit measures one deep CART tree (all features per split) over
+// the columnar backend — the per-tree cost without forest-level sharing.
+func BenchmarkTreeFit(b *testing.B) {
+	d := benchForestData()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tree.FitForest(d, tree.ForestConfig{NumTrees: 50, MinLeafSamples: 25, Seed: 1}); err != nil {
+		if _, err := tree.FitTree(d, tree.Config{MinLeafSamples: 25, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRandomForestFit sweeps split-search modes: bins=0 is the exact
+// presorted scan (bit-identical to the legacy grower), bins>0 the quantile
+// histogram scan.
+func BenchmarkRandomForestFit(b *testing.B) {
+	d := benchForestData()
+	for _, bins := range []int{0, 32, 255} {
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := tree.ForestConfig{NumTrees: 50, MinLeafSamples: 25, Seed: 1, MaxBins: bins}
+				if _, err := tree.FitForest(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

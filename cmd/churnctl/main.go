@@ -63,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   churnctl generate -out DIR [-customers N] [-months N] [-seed N]
-  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N]
+  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N]
   churnctl inspect -warehouse DIR
   churnctl explain [-customers N] [-top N]   root causes of predicted churners
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
@@ -167,6 +167,7 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per tree leaf")
 	workers := fs.Int("workers", 0, "parallelism across the pipeline (0 = all cores); results are identical for any value")
+	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
 	fs.Parse(args[1:])
 
 	opts := experiments.Options{
@@ -176,6 +177,7 @@ func cmdRun(args []string) error {
 		Seed:      *seed,
 		MinLeaf:   *minLeaf,
 		Workers:   *workers,
+		Bins:      *bins,
 	}
 
 	ids := []string{id}

@@ -54,6 +54,7 @@ func cmdTrain(args []string) error {
 	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F6)")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "parallelism for feature build and training (0 = all cores)")
+	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
 	fs.Parse(args)
 
 	groups, err := parseGroups(*groupSpec)
@@ -82,7 +83,7 @@ func cmdTrain(args []string) error {
 
 	pipe, err := core.Fit(src, specs, core.Config{
 		Groups:    groups,
-		Forest:    tree.ForestConfig{NumTrees: *trees, MinLeafSamples: *minLeaf, Seed: *seed},
+		Forest:    tree.ForestConfig{NumTrees: *trees, MinLeafSamples: *minLeaf, Seed: *seed, MaxBins: *bins},
 		Imbalance: sampling.WeightedInstance,
 		Seed:      *seed,
 		Workers:   *workers,

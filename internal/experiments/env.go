@@ -37,6 +37,9 @@ type Options struct {
 	// wide-table build, graph algorithms and forest training (0 =
 	// GOMAXPROCS). Results are bit-identical for any value.
 	Workers int
+	// Bins enables histogram split search in the forests (ForestConfig
+	// MaxBins); 0 keeps exact splits.
+	Bins int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,7 +65,7 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) forest() tree.ForestConfig {
-	return tree.ForestConfig{NumTrees: o.Trees, MinLeafSamples: o.MinLeaf, Seed: o.Seed + 11, Workers: o.Workers}
+	return tree.ForestConfig{NumTrees: o.Trees, MinLeafSamples: o.MinLeaf, Seed: o.Seed + 11, Workers: o.Workers, MaxBins: o.Bins}
 }
 
 // scaleU maps a paper top-U cutoff onto this run's population.

@@ -117,6 +117,7 @@ func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
 	out := NewTable(schema)
+	out.Grow(len(order)) // one output row per distinct key
 	for _, k := range order {
 		rows := groups[k]
 		out.Cols[0].AppendInt(k)

@@ -62,6 +62,19 @@ func HashJoin(left, right *Table, key string, kind JoinKind) (*Table, error) {
 	}
 
 	leftKeys := left.Cols[lk].Ints
+
+	// Pre-count the output cardinality (sum of match multiplicities, plus
+	// unmatched left rows for LeftJoin) so every column allocates once.
+	nOut := 0
+	for _, k := range leftKeys {
+		if n := len(index[k]); n > 0 {
+			nOut += n
+		} else if kind == LeftJoin {
+			nOut++
+		}
+	}
+	out.Grow(nOut)
+
 	nl := left.Schema.Len()
 	for i, k := range leftKeys {
 		matches := index[k]

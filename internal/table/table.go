@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Column is a typed dense column vector. Exactly one of the three slices is
@@ -37,6 +38,20 @@ func (c *Column) AppendFloat(v float64) { c.Floats = append(c.Floats, v) }
 
 // AppendString appends a string value; the column must be String.
 func (c *Column) AppendString(v string) { c.Strings = append(c.Strings, v) }
+
+// Grow reserves capacity for at least n more values, so operators that know
+// their output cardinality up front (GroupBy, HashJoin) append without
+// repeated reallocation.
+func (c *Column) Grow(n int) {
+	switch c.Type {
+	case Int64:
+		c.Ints = slices.Grow(c.Ints, n)
+	case Float64:
+		c.Floats = slices.Grow(c.Floats, n)
+	default:
+		c.Strings = slices.Grow(c.Strings, n)
+	}
+}
 
 // appendFrom appends value at row i of src (same type) onto c.
 func (c *Column) appendFrom(src *Column, i int) {
@@ -85,6 +100,13 @@ func (t *Table) NumRows() int {
 		return 0
 	}
 	return t.Cols[0].Len()
+}
+
+// Grow reserves capacity for at least n more rows in every column.
+func (t *Table) Grow(n int) {
+	for _, c := range t.Cols {
+		c.Grow(n)
+	}
 }
 
 // Col returns the named column, or nil if absent.

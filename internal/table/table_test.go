@@ -242,3 +242,28 @@ func TestFilterPartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGrowReservesCapacityWithoutChangingRows(t *testing.T) {
+	tb := NewTable(MustSchema(
+		Field{Name: "imsi", Type: Int64},
+		Field{Name: "v", Type: Float64},
+		Field{Name: "s", Type: String},
+	))
+	tb.AppendRow(int64(1), 1.5, "a")
+	tb.Grow(100)
+	if tb.NumRows() != 1 {
+		t.Fatalf("Grow changed row count to %d", tb.NumRows())
+	}
+	ints := tb.MustCol("imsi").Ints
+	if cap(ints)-len(ints) < 100 {
+		t.Errorf("Grow(100) left spare capacity %d", cap(ints)-len(ints))
+	}
+	// Appends after Grow must not reallocate.
+	before := &tb.MustCol("v").Floats[0]
+	for i := 0; i < 100; i++ {
+		tb.AppendRow(int64(i), float64(i), "x")
+	}
+	if before != &tb.MustCol("v").Floats[0] {
+		t.Error("append within reserved capacity reallocated the column")
+	}
+}

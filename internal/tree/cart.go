@@ -9,8 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
 
 	"telcochurn/internal/dataset"
 )
@@ -30,11 +28,23 @@ type Config struct {
 	FeaturesPerSplit int
 	// Seed drives the feature subsampling and bootstrap RNG.
 	Seed int64
+	// MaxBins switches split search to histogram mode: each feature is
+	// quantile-binned into at most MaxBins buckets once per training matrix
+	// and nodes scan bin boundaries instead of every distinct value. 0 (the
+	// default) keeps exact splits, which are bit-identical to the legacy
+	// row-major scan; values above 255 are clamped (bin ids are bytes).
+	MaxBins int
 }
 
 func (c Config) withDefaults() Config {
 	if c.MinLeafSamples == 0 {
 		c.MinLeafSamples = 100
+	}
+	if c.MaxBins > maxBinsLimit {
+		c.MaxBins = maxBinsLimit
+	}
+	if c.MaxBins < 0 {
+		c.MaxBins = 0
 	}
 	return c
 }
@@ -80,34 +90,34 @@ func Gini(classMass []float64) float64 {
 }
 
 // FitTree trains a single CART classification tree on the dataset with the
-// paper's Gini splitting (Eqs. 5-6), honoring per-instance weights.
+// paper's Gini splitting (Eqs. 5-6), honoring per-instance weights. Split
+// search runs on the columnar backend (see columnar.go): exact presorted
+// scans by default, histogram scans when cfg.MaxBins > 0.
 func FitTree(d *dataset.Dataset, cfg Config) (*Tree, error) {
-	cfg = cfg.withDefaults()
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	if d.NumInstances() == 0 {
 		return nil, errors.New("tree: empty dataset")
 	}
+	if d.NumInstances() > math.MaxInt32 {
+		return nil, errors.New("tree: dataset exceeds 2^31 rows")
+	}
 	numClasses := d.NumClasses()
 	if numClasses < 2 {
 		numClasses = 2
 	}
-	g := &grower{
-		x:          d.X,
-		y:          d.Y,
-		w:          weightsOf(d),
-		numClasses: numClasses,
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		importance: make([]float64, d.NumFeatures()),
-	}
-	idx := make([]int, d.NumInstances())
-	for i := range idx {
-		idx[i] = i
-	}
-	root := g.grow(idx, 0)
-	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}, nil
+	return fitTreeWithClasses(d, cfg, numClasses), nil
+}
+
+// fitTreeWithClasses is FitTree with an externally fixed class count, so a
+// sample that misses a rare class still yields aligned probability vectors.
+func fitTreeWithClasses(d *dataset.Dataset, cfg Config, numClasses int) *Tree {
+	cfg = cfg.withDefaults()
+	cd := newColData(d.X, d.NumFeatures(), cfg.MaxBins)
+	g := newColGrower(newLayout(cd), d.Y, weightsOf(d), numClasses, d.NumFeatures(), cfg)
+	root := g.grow(0, d.NumInstances(), 0)
+	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}
 }
 
 func weightsOf(d *dataset.Dataset) []float64 {
@@ -190,111 +200,11 @@ func (t *Tree) MinLeafSize() int {
 	return minSize
 }
 
-// grower holds the shared state of one tree-growing run.
-type grower struct {
-	x          [][]float64
-	y          []int
-	w          []float64
-	numClasses int
-	cfg        Config
-	rng        *rand.Rand
-	importance []float64
-}
-
-func (g *grower) grow(idx []int, depth int) *node {
-	mass := make([]float64, g.numClasses)
-	for _, i := range idx {
-		mass[g.y[i]] += g.w[i]
-	}
-	leaf := func() *node {
-		return &node{probs: normalize(mass), n: len(idx)}
-	}
-	if len(idx) < 2*g.cfg.MinLeafSamples || depth == g.cfg.MaxDepth && g.cfg.MaxDepth > 0 {
-		return leaf()
-	}
-	if isPure(mass) {
-		return leaf()
-	}
-
-	best := g.bestSplit(idx, mass)
-	if best.feature < 0 {
-		return leaf()
-	}
-	leftIdx, rightIdx := partition(g.x, idx, best.feature, best.threshold)
-	if len(leftIdx) < g.cfg.MinLeafSamples || len(rightIdx) < g.cfg.MinLeafSamples {
-		return leaf()
-	}
-	g.importance[best.feature] += best.improvement
-	return &node{
-		feature:   best.feature,
-		threshold: best.threshold,
-		left:      g.grow(leftIdx, depth+1),
-		right:     g.grow(rightIdx, depth+1),
-		n:         len(idx),
-		// Internal nodes keep their class distribution too, so decision-path
-		// attribution (Contributions) can credit each split's probability
-		// shift to the feature it tested.
-		probs: normalize(mass),
-	}
-}
-
+// split is one candidate cut: send x[feature] <= threshold left.
 type split struct {
 	feature     int
 	threshold   float64
 	improvement float64
-}
-
-// bestSplit searches the sampled feature subset for the split with the
-// maximum weighted Gini improvement (Eq. 5).
-func (g *grower) bestSplit(idx []int, parentMass []float64) split {
-	numFeat := len(g.x[0])
-	features := g.sampleFeatures(numFeat)
-	parentGini := Gini(parentMass)
-	parentTotal := 0.0
-	for _, m := range parentMass {
-		parentTotal += m
-	}
-
-	best := split{feature: -1}
-	vals := make([]float64, len(idx))
-	order := make([]int, len(idx))
-	leftMass := make([]float64, g.numClasses)
-
-	for _, f := range features {
-		for j, i := range idx {
-			vals[j] = g.x[i][f]
-			order[j] = j
-		}
-		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
-
-		for c := range leftMass {
-			leftMass[c] = 0
-		}
-		leftTotal := 0.0
-		// Scan split points between distinct adjacent values; enforce the
-		// min-leaf rule on unweighted counts.
-		for pos := 0; pos < len(order)-1; pos++ {
-			i := idx[order[pos]]
-			leftMass[g.y[i]] += g.w[i]
-			leftTotal += g.w[i]
-			cur, next := vals[order[pos]], vals[order[pos+1]]
-			if cur == next {
-				continue
-			}
-			nLeft := pos + 1
-			nRight := len(order) - nLeft
-			if nLeft < g.cfg.MinLeafSamples || nRight < g.cfg.MinLeafSamples {
-				continue
-			}
-			q := leftTotal / parentTotal
-			rightGini := giniComplement(parentMass, leftMass, parentTotal-leftTotal)
-			improvement := parentGini - q*Gini(leftMass) - (1-q)*rightGini
-			if improvement > best.improvement {
-				best = split{feature: f, threshold: (cur + next) / 2, improvement: improvement}
-			}
-		}
-	}
-	return best
 }
 
 // giniComplement computes Gini of (parent - left) without allocating.
@@ -308,36 +218,6 @@ func giniComplement(parent, left []float64, total float64) float64 {
 		g -= p * p
 	}
 	return g
-}
-
-func (g *grower) sampleFeatures(numFeat int) []int {
-	k := g.cfg.FeaturesPerSplit
-	switch {
-	case k == 0 || k >= numFeat:
-		all := make([]int, numFeat)
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	case k == -1:
-		k = int(math.Sqrt(float64(numFeat)))
-		if k < 1 {
-			k = 1
-		}
-	}
-	perm := g.rng.Perm(numFeat)
-	return perm[:k]
-}
-
-func partition(x [][]float64, idx []int, feature int, threshold float64) (left, right []int) {
-	for _, i := range idx {
-		if x[i][feature] <= threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	return left, right
 }
 
 func normalize(mass []float64) []float64 {

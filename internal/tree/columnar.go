@@ -1,0 +1,639 @@
+package tree
+
+// Columnar training backend. The legacy grower re-sorted every sampled
+// feature at every node (O(depth · √F · n log n) interface-based sorts over
+// the row-major matrix); this backend sorts each feature once per training
+// matrix, keeps the data feature-major, and maintains the sorted orders
+// across splits by stable in-place partitioning, so a node's split scan is a
+// single pass over contiguous memory and allocates nothing.
+//
+// Three layers:
+//
+//   - colData: the immutable per-matrix view — feature-major value columns
+//     plus, per feature, either a presorted row order (exact mode) or
+//     quantile bin assignments (histogram mode, Config.MaxBins > 0). A
+//     forest builds it once and shares it across all trees; GBDT builds it
+//     once and shares it across all boosting rounds.
+//   - colLayout: the mutable per-tree state — the node row list and (exact
+//     mode) per-feature order arrays, each partitioned in place at every
+//     split, plus the membership marker and scratch buffer that make the
+//     partition allocation-free. Forest trees derive their bootstrap layout
+//     from the shared colData by a counting remap instead of re-sorting.
+//   - colGrower / colRegGrower (regression.go): the recursive CART growth,
+//     operating on [start, end) segments of the layout's arrays.
+//
+// Invariants maintained by the layout:
+//
+//  1. Every tree node owns a contiguous segment [start, end) of rows and of
+//     each order array; children own [start, start+nLeft) and
+//     [start+nLeft, end).
+//  2. rows[start:end] preserves the relative order of the original rows
+//     (stable partition), so per-node reductions visit rows in exactly the
+//     order the legacy partition-based grower did.
+//  3. orders[f][start:end] lists the node's rows ascending by feature f —
+//     the presort invariant the split scan relies on.
+//
+// With unit instance weights (every forest tree: the bootstrap encodes
+// weights in the draw) the exact path is bit-identical to the legacy scan:
+// all class-mass partial sums are integer-valued, so the order in which
+// tied rows are accumulated cannot change them, and thresholds/improvements
+// are computed with the exact same arithmetic. With arbitrary non-dyadic
+// weights, tied feature values may be accumulated in a different order than
+// the legacy unstable sort visited them, which can move improvements by
+// ulps; everything stays deterministic for any worker count either way.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// maxBinsLimit caps MaxBins so histogram bin indices fit in a byte.
+const maxBinsLimit = 255
+
+// colData is the immutable columnar view of one training matrix, shared by
+// every tree grown on it.
+type colData struct {
+	numRows int
+	cols    [][]float64 // cols[f][row] = x[row][f]
+	// Exact mode: rows sorted ascending by cols[f].
+	orders [][]int32
+	// Histogram mode: binUpper[f][b] is the split threshold after bin b
+	// (len bins(f)-1, ascending); binIdx[f][row] is the row's bin, defined
+	// as the smallest b with value <= binUpper[f][b] (last bin otherwise) —
+	// so "bins 0..b go left under threshold binUpper[f][b]" matches the
+	// predictor's `x <= threshold` routing exactly.
+	binUpper [][]float64
+	binIdx   [][]uint8
+}
+
+// newColData transposes x to feature-major and presorts (maxBins == 0) or
+// quantile-bins (maxBins > 0) every feature. O(F·n log n) once, against the
+// legacy backend's per-node sorts.
+func newColData(x [][]float64, numFeat, maxBins int) *colData {
+	n := len(x)
+	cd := &colData{numRows: n, cols: make([][]float64, numFeat)}
+	flat := make([]float64, numFeat*n)
+	for f := range cd.cols {
+		cd.cols[f] = flat[f*n : (f+1)*n : (f+1)*n]
+	}
+	for i, row := range x {
+		for f, v := range row {
+			cd.cols[f][i] = v
+		}
+	}
+	if maxBins > 0 {
+		cd.bin(maxBins)
+	} else {
+		cd.presort()
+	}
+	return cd
+}
+
+func (cd *colData) presort() {
+	n := cd.numRows
+	cd.orders = make([][]int32, len(cd.cols))
+	flat := make([]int32, len(cd.cols)*n)
+	for f, col := range cd.cols {
+		ord := flat[f*n : (f+1)*n : (f+1)*n]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		sort.Slice(ord, func(a, b int) bool { return col[ord[a]] < col[ord[b]] })
+		cd.orders[f] = ord
+	}
+}
+
+func (cd *colData) bin(maxBins int) {
+	if maxBins > maxBinsLimit {
+		maxBins = maxBinsLimit
+	}
+	n := cd.numRows
+	cd.binUpper = make([][]float64, len(cd.cols))
+	cd.binIdx = make([][]uint8, len(cd.cols))
+	sorted := make([]float64, n)
+	flat := make([]uint8, len(cd.cols)*n)
+	for f, col := range cd.cols {
+		copy(sorted, col)
+		sort.Float64s(sorted)
+		upper := binEdges(sorted, maxBins)
+		cd.binUpper[f] = upper
+		idx := flat[f*n : (f+1)*n : (f+1)*n]
+		if len(upper) > 0 {
+			for i, v := range col {
+				idx[i] = uint8(sort.SearchFloat64s(upper, v))
+			}
+		}
+		cd.binIdx[f] = idx
+	}
+}
+
+// binEdges picks quantile cut points over the sorted values: a cut is
+// placed after every ~n/maxBins values, only between distinct neighbors, so
+// equal values always share a bin and at most maxBins bins result. The edge
+// is the midpoint of the straddled values, mirroring the exact scan's
+// thresholds.
+func binEdges(sorted []float64, maxBins int) []float64 {
+	n := len(sorted)
+	if n < 2 || maxBins < 2 {
+		return nil
+	}
+	per := (n + maxBins - 1) / maxBins
+	edges := make([]float64, 0, maxBins-1)
+	count := 0
+	for i := 0; i < n-1; i++ {
+		count++
+		if count >= per && sorted[i] != sorted[i+1] {
+			edges = append(edges, (sorted[i]+sorted[i+1])/2)
+			count = 0
+		}
+	}
+	return edges
+}
+
+// colLayout is one tree's mutable training state over a colData.
+type colLayout struct {
+	cols     [][]float64
+	binUpper [][]float64
+	binIdx   [][]uint8
+	rows     []int32   // node row lists, stable-partitioned per split
+	orders   [][]int32 // exact mode: per-feature row orders, ditto
+	goesLeft []uint8   // node-membership marker (0/1) for the chosen split
+	scratch  []int32   // stable-partition spill buffer
+}
+
+// newLayout builds the identity layout (tree trained on cd's rows
+// directly). Order arrays are copied because splits partition them in
+// place; value columns and bin assignments are shared read-only.
+func newLayout(cd *colData) *colLayout {
+	n := cd.numRows
+	l := &colLayout{
+		cols:     cd.cols,
+		binUpper: cd.binUpper,
+		binIdx:   cd.binIdx,
+		rows:     make([]int32, n),
+		goesLeft: make([]uint8, n),
+		scratch:  make([]int32, n),
+	}
+	for i := range l.rows {
+		l.rows[i] = int32(i)
+	}
+	if cd.orders != nil {
+		l.orders = make([][]int32, len(cd.orders))
+		flat := make([]int32, len(cd.orders)*n)
+		for f, ord := range cd.orders {
+			dst := flat[f*n : (f+1)*n : (f+1)*n]
+			copy(dst, ord)
+			l.orders[f] = dst
+		}
+	}
+	return l
+}
+
+// bootBuffers is the reusable per-tree arena for forest training: the
+// layout's arrays plus the counting-sort scratch of the bootstrap remap and
+// the gathered label vector. FitForest keeps them in a sync.Pool so a
+// 500-tree fit allocates the big F·n buffers only ~once per worker.
+type bootBuffers struct {
+	lay      colLayout
+	y        []int
+	colsFlat []float64
+	ordFlat  []int32
+	binFlat  []uint8
+	count    []int32 // bootstrap multiplicity per source row
+	begin    []int32 // prefix sums of count
+	cursor   []int32
+	posByRow []int32
+}
+
+// newBootstrapLayout derives the layout for the resample x'[j] = x[idx[j]]
+// without re-sorting: bootstrap positions are grouped by source row with
+// one counting pass, then each feature's presorted order is rewritten by
+// walking the source order and emitting every position that drew the row —
+// O(F·n) per tree in place of O(F·n log n). Values are gathered from the
+// row-major matrix x (sequential reads per row) rather than from cd's
+// columns (random reads per feature). All buffers come from b.
+func newBootstrapLayout(cd *colData, x [][]float64, idx []int, b *bootBuffers) *colLayout {
+	n := len(idx)
+	numFeat := len(cd.cols)
+	l := &b.lay
+	l.rows = growInt32(l.rows, n)
+	l.scratch = growInt32(l.scratch, n)
+	if cap(l.goesLeft) < n {
+		l.goesLeft = make([]uint8, n)
+	}
+	l.goesLeft = l.goesLeft[:n]
+	for i := range l.rows {
+		l.rows[i] = int32(i)
+	}
+
+	if cap(b.colsFlat) < numFeat*n || len(l.cols) != numFeat {
+		b.colsFlat = make([]float64, numFeat*n)
+		l.cols = make([][]float64, numFeat)
+	}
+	for f := range l.cols {
+		l.cols[f] = b.colsFlat[f*n : (f+1)*n : (f+1)*n]
+	}
+	for j, r := range idx {
+		row := x[r]
+		for f, v := range row {
+			l.cols[f][j] = v
+		}
+	}
+
+	if cd.binIdx == nil {
+		l.binUpper, l.binIdx = nil, nil
+	} else {
+		l.binUpper = cd.binUpper // bin edges come from the full matrix
+		if cap(b.binFlat) < numFeat*n || len(l.binIdx) != numFeat {
+			b.binFlat = make([]uint8, numFeat*n)
+			l.binIdx = make([][]uint8, numFeat)
+		}
+		for f, src := range cd.binIdx {
+			dst := b.binFlat[f*n : (f+1)*n : (f+1)*n]
+			for j, r := range idx {
+				dst[j] = src[r]
+			}
+			l.binIdx[f] = dst
+		}
+	}
+
+	if cd.orders == nil {
+		l.orders = nil
+	} else {
+		// posByRow[begin[r]:begin[r]+count[r]] lists the bootstrap positions
+		// that drew source row r, ascending.
+		m := cd.numRows
+		b.count = growInt32(b.count, m)
+		b.begin = growInt32(b.begin, m)
+		b.cursor = growInt32(b.cursor, m)
+		b.posByRow = growInt32(b.posByRow, n)
+		count, begin, cursor, posByRow := b.count, b.begin, b.cursor, b.posByRow
+		for r := range count {
+			count[r] = 0
+		}
+		for _, r := range idx {
+			count[r]++
+		}
+		sum := int32(0)
+		for r := range begin {
+			begin[r] = sum
+			sum += count[r]
+		}
+		copy(cursor, begin)
+		for j, r := range idx {
+			posByRow[cursor[r]] = int32(j)
+			cursor[r]++
+		}
+		if cap(b.ordFlat) < numFeat*n || len(l.orders) != numFeat {
+			b.ordFlat = make([]int32, numFeat*n)
+			l.orders = make([][]int32, numFeat)
+		}
+		for f, src := range cd.orders {
+			dst := b.ordFlat[f*n : (f+1)*n : (f+1)*n]
+			k := 0
+			for _, r := range src {
+				c := int(count[r])
+				if c == 0 {
+					continue
+				}
+				bg := begin[r]
+				copy(dst[k:k+c], posByRow[bg:bg+int32(c)])
+				k += c
+			}
+			l.orders[f] = dst
+		}
+	}
+	return l
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// markSplit records which of the node's rows go left under the split and
+// returns their count, without moving anything — the caller checks the
+// min-leaf rule first so a rejected split leaves the layout untouched
+// (leaf reductions must still see the original row order). The marker is
+// computed branch-free: split outcomes are ~50/50, the worst case for
+// branch prediction.
+func (l *colLayout) markSplit(start, end, feature int, threshold float64) int {
+	col := l.cols[feature]
+	goesLeft := l.goesLeft
+	nLeft := 0
+	for _, i := range l.rows[start:end] {
+		b := uint8(0)
+		if col[i] <= threshold {
+			b = 1
+		}
+		goesLeft[i] = b
+		nLeft += int(b)
+	}
+	return nLeft
+}
+
+// commitSplit partitions the node's segment of the row list and of every
+// order array against the goesLeft marker. The partition is stable, which
+// preserves both layout invariants (2) and (3).
+func (l *colLayout) commitSplit(start, end int) {
+	stablePartition(l.rows[start:end], l.goesLeft, l.scratch)
+	for _, ord := range l.orders {
+		stablePartition(ord[start:end], l.goesLeft, l.scratch)
+	}
+}
+
+// stablePartition moves marked rows to the front of seg, preserving
+// relative order on both sides, spilling the right side through scratch.
+// Writes trail reads (left count <= scan position), so compaction is safe
+// in place. Both targets are written unconditionally and the cursors
+// advance by the 0/1 marker — branch-free, since the 50/50 left/right
+// pattern defeats branch prediction and this loop runs for every feature at
+// every split.
+func stablePartition(seg []int32, goesLeft []uint8, scratch []int32) {
+	nl, nr := 0, 0
+	for _, i := range seg {
+		b := int(goesLeft[i])
+		seg[nl] = i
+		scratch[nr] = i
+		nl += b
+		nr += 1 - b
+	}
+	copy(seg[nl:], scratch[:nr])
+}
+
+// idxSlice materializes a node's rows as []int, in original relative order,
+// for leaf callbacks (leaves only — off the hot path).
+func (l *colLayout) idxSlice(start, end int) []int {
+	idx := make([]int, end-start)
+	for j, i := range l.rows[start:end] {
+		idx[j] = int(i)
+	}
+	return idx
+}
+
+// sampleSplitFeatures draws the per-node feature subset: k == 0 means all
+// features, -1 means √F (the forest default), k > 0 exactly k. The RNG is
+// consumed identically to the legacy growers (one Perm per sampling node).
+func sampleSplitFeatures(rng *rand.Rand, numFeat, k int) []int {
+	if numFeat == 0 {
+		return nil
+	}
+	switch {
+	case k == 0 || k >= numFeat:
+		all := make([]int, numFeat)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	case k == -1:
+		k = int(math.Sqrt(float64(numFeat)))
+		if k < 1 {
+			k = 1
+		}
+	}
+	return rng.Perm(numFeat)[:k]
+}
+
+// colGrower grows one CART classification tree over a colLayout. Node
+// splitting allocates nothing beyond the emitted nodes: class masses,
+// histogram accumulators and partition scratch live in per-grower buffers
+// sized once up front.
+type colGrower struct {
+	lay        *colLayout
+	y          []int
+	w          []float64
+	numClasses int
+	cfg        Config
+	rng        *rand.Rand
+	importance []float64
+	// unitW marks an all-ones weight vector (every forest tree: the
+	// bootstrap encodes weights in the draw). Mass sums then count in whole
+	// units — bit-identical to accumulating 1.0s, since integer-valued
+	// float64 sums are exact — so the scans skip the weight loads.
+	unitW bool
+
+	mass     []float64 // node class-mass accumulator
+	leftMass []float64 // split-scan left-side accumulator
+	histMass []float64 // histogram mode: bins × classes masses
+	histCnt  []int     // histogram mode: unweighted counts per bin
+}
+
+func newColGrower(lay *colLayout, y []int, w []float64, numClasses, numFeat int, cfg Config) *colGrower {
+	g := &colGrower{
+		lay:        lay,
+		y:          y,
+		w:          w,
+		numClasses: numClasses,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		importance: make([]float64, numFeat),
+		mass:       make([]float64, numClasses),
+		leftMass:   make([]float64, numClasses),
+	}
+	if lay.binUpper != nil {
+		g.histMass = make([]float64, cfg.MaxBins*numClasses)
+		g.histCnt = make([]int, cfg.MaxBins)
+	}
+	g.unitW = true
+	for _, v := range w {
+		if v != 1 {
+			g.unitW = false
+			break
+		}
+	}
+	return g
+}
+
+func (g *colGrower) grow(start, end, depth int) *node {
+	mass := g.mass
+	for c := range mass {
+		mass[c] = 0
+	}
+	if g.unitW {
+		for _, i := range g.lay.rows[start:end] {
+			mass[g.y[i]]++
+		}
+	} else {
+		for _, i := range g.lay.rows[start:end] {
+			mass[g.y[i]] += g.w[i]
+		}
+	}
+	n := end - start
+	leaf := func() *node {
+		return &node{probs: normalize(mass), n: n}
+	}
+	if n < 2*g.cfg.MinLeafSamples || depth == g.cfg.MaxDepth && g.cfg.MaxDepth > 0 {
+		return leaf()
+	}
+	if isPure(mass) {
+		return leaf()
+	}
+
+	best := g.bestSplit(start, end, mass)
+	if best.feature < 0 {
+		return leaf()
+	}
+	nLeft := g.lay.markSplit(start, end, best.feature, best.threshold)
+	if nLeft < g.cfg.MinLeafSamples || n-nLeft < g.cfg.MinLeafSamples {
+		return leaf()
+	}
+	g.lay.commitSplit(start, end)
+	g.importance[best.feature] += best.improvement
+	nd := &node{
+		feature:   best.feature,
+		threshold: best.threshold,
+		n:         n,
+		// Internal nodes keep their class distribution too, so decision-path
+		// attribution (Contributions) can credit each split's probability
+		// shift to the feature it tested. Normalized before recursion
+		// clobbers the shared mass buffer.
+		probs: normalize(mass),
+	}
+	nd.left = g.grow(start, start+nLeft, depth+1)
+	nd.right = g.grow(start+nLeft, end, depth+1)
+	return nd
+}
+
+// bestSplit searches the sampled feature subset for the split with the
+// maximum weighted Gini improvement (Eq. 5).
+func (g *colGrower) bestSplit(start, end int, parentMass []float64) split {
+	features := sampleSplitFeatures(g.rng, len(g.lay.cols), g.cfg.FeaturesPerSplit)
+	parentGini := Gini(parentMass)
+	parentTotal := 0.0
+	for _, m := range parentMass {
+		parentTotal += m
+	}
+	best := split{feature: -1}
+	for _, f := range features {
+		if g.lay.orders != nil {
+			g.scanExact(f, start, end, parentMass, parentGini, parentTotal, &best)
+		} else {
+			g.scanHist(f, start, end, parentMass, parentGini, parentTotal, &best)
+		}
+	}
+	return best
+}
+
+// scanExact walks the node's presorted order for feature f, evaluating a
+// cut between every pair of distinct adjacent values; the min-leaf rule is
+// enforced on unweighted counts.
+func (g *colGrower) scanExact(f, start, end int, parentMass []float64, parentGini, parentTotal float64, best *split) {
+	ord := g.lay.orders[f][start:end]
+	col := g.lay.cols[f]
+	leftMass := g.leftMass
+	for c := range leftMass {
+		leftMass[c] = 0
+	}
+	minLeaf := g.cfg.MinLeafSamples
+	if g.unitW {
+		for pos := 0; pos < len(ord)-1; pos++ {
+			i := ord[pos]
+			leftMass[g.y[i]]++
+			cur, next := col[i], col[ord[pos+1]]
+			if cur == next {
+				continue
+			}
+			nLeft := pos + 1
+			nRight := len(ord) - nLeft
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			leftTotal := float64(nLeft)
+			q := leftTotal / parentTotal
+			rightGini := giniComplement(parentMass, leftMass, parentTotal-leftTotal)
+			improvement := parentGini - q*Gini(leftMass) - (1-q)*rightGini
+			if improvement > best.improvement {
+				*best = split{feature: f, threshold: (cur + next) / 2, improvement: improvement}
+			}
+		}
+		return
+	}
+	leftTotal := 0.0
+	for pos := 0; pos < len(ord)-1; pos++ {
+		i := ord[pos]
+		leftMass[g.y[i]] += g.w[i]
+		leftTotal += g.w[i]
+		cur, next := col[i], col[ord[pos+1]]
+		if cur == next {
+			continue
+		}
+		nLeft := pos + 1
+		nRight := len(ord) - nLeft
+		if nLeft < minLeaf || nRight < minLeaf {
+			continue
+		}
+		q := leftTotal / parentTotal
+		rightGini := giniComplement(parentMass, leftMass, parentTotal-leftTotal)
+		improvement := parentGini - q*Gini(leftMass) - (1-q)*rightGini
+		if improvement > best.improvement {
+			*best = split{feature: f, threshold: (cur + next) / 2, improvement: improvement}
+		}
+	}
+}
+
+// scanHist accumulates the node's class masses into feature f's quantile
+// bins in one unordered pass over the rows, then evaluates a cut at every
+// non-empty bin boundary. An empty bin's boundary would duplicate the
+// previous cut at a higher threshold, so it is skipped.
+func (g *colGrower) scanHist(f, start, end int, parentMass []float64, parentGini, parentTotal float64, best *split) {
+	upper := g.lay.binUpper[f]
+	if len(upper) == 0 {
+		return // constant feature: nothing to cut
+	}
+	nb := len(upper) + 1
+	C := g.numClasses
+	hm := g.histMass[:nb*C]
+	hc := g.histCnt[:nb]
+	for j := range hm {
+		hm[j] = 0
+	}
+	for j := range hc {
+		hc[j] = 0
+	}
+	bins := g.lay.binIdx[f]
+	if g.unitW {
+		for _, i := range g.lay.rows[start:end] {
+			b := int(bins[i])
+			hm[b*C+g.y[i]]++
+			hc[b]++
+		}
+	} else {
+		for _, i := range g.lay.rows[start:end] {
+			b := int(bins[i])
+			hm[b*C+g.y[i]] += g.w[i]
+			hc[b]++
+		}
+	}
+	leftMass := g.leftMass
+	for c := range leftMass {
+		leftMass[c] = 0
+	}
+	leftTotal := 0.0
+	nLeft := 0
+	total := end - start
+	minLeaf := g.cfg.MinLeafSamples
+	for b := 0; b < nb-1; b++ {
+		for c := 0; c < C; c++ {
+			m := hm[b*C+c]
+			leftMass[c] += m
+			leftTotal += m
+		}
+		nLeft += hc[b]
+		if hc[b] == 0 {
+			continue
+		}
+		nRight := total - nLeft
+		if nLeft < minLeaf || nRight < minLeaf {
+			continue
+		}
+		q := leftTotal / parentTotal
+		rightGini := giniComplement(parentMass, leftMass, parentTotal-leftTotal)
+		improvement := parentGini - q*Gini(leftMass) - (1-q)*rightGini
+		if improvement > best.improvement {
+			*best = split{feature: f, threshold: upper[b], improvement: improvement}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package tree
+
+// Exactness regression tests: the columnar exact path must reproduce the
+// legacy row-major growers (legacy_test.go) node for node — same features,
+// same thresholds, same Gini improvements, same leaf distributions.
+//
+// Bit-identity holds whenever split-scan partial sums are exactly
+// representable regardless of accumulation order: unit weights (integer
+// sums) and power-of-two weights (dyadic sums) for classification, and
+// tie-free features for regression (the accumulation order inside a tie
+// group is then unique, so even arbitrary weights match).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"telcochurn/internal/dataset"
+)
+
+// tiedDataset draws features from a small discrete grid so every column is
+// full of tied values — the case where the legacy unstable sort and the
+// columnar presort may visit rows in different orders inside a tie group.
+func tiedDataset(n, numFeat int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, numFeat)
+	for f := range names {
+		names[f] = "f"
+	}
+	d := dataset.New(names)
+	for i := 0; i < n; i++ {
+		row := make([]float64, numFeat)
+		for f := range row {
+			row[f] = float64(rng.Intn(7)) / 7
+		}
+		y := 0
+		if row[0]+0.1*rng.NormFloat64() > 0.5 {
+			y = 1
+		}
+		d.Add(row, y)
+	}
+	return d
+}
+
+// sameNode fails the test unless the two subtrees are identical: structure,
+// split feature/threshold, per-node population, and exact (==) leaf values
+// and probability vectors.
+func sameNode(t *testing.T, got, want *node, path string) {
+	t.Helper()
+	if got == nil || want == nil {
+		if got != want {
+			t.Fatalf("%s: one side nil", path)
+		}
+		return
+	}
+	if got.isLeaf() != want.isLeaf() {
+		t.Fatalf("%s: leaf mismatch (got leaf=%v)", path, got.isLeaf())
+	}
+	if got.n != want.n {
+		t.Fatalf("%s: n = %d, want %d", path, got.n, want.n)
+	}
+	if got.value != want.value {
+		t.Fatalf("%s: value = %v, want %v", path, got.value, want.value)
+	}
+	if len(got.probs) != len(want.probs) {
+		t.Fatalf("%s: probs len %d, want %d", path, len(got.probs), len(want.probs))
+	}
+	for c := range got.probs {
+		if got.probs[c] != want.probs[c] {
+			t.Fatalf("%s: probs[%d] = %v, want %v", path, c, got.probs[c], want.probs[c])
+		}
+	}
+	if got.isLeaf() {
+		return
+	}
+	if got.feature != want.feature || got.threshold != want.threshold {
+		t.Fatalf("%s: split (f=%d, thr=%v), want (f=%d, thr=%v)",
+			path, got.feature, got.threshold, want.feature, want.threshold)
+	}
+	sameNode(t, got.left, want.left, path+"L")
+	sameNode(t, got.right, want.right, path+"R")
+}
+
+func sameImportance(t *testing.T, got, want []float64) {
+	t.Helper()
+	for f := range want {
+		if got[f] != want[f] {
+			t.Fatalf("importance[%d] = %v, want %v (Gini improvements must match exactly)", f, got[f], want[f])
+		}
+	}
+}
+
+func TestColumnarExactMatchesLegacyUnitWeights(t *testing.T) {
+	d := tiedDataset(800, 6, 21)
+	for _, cfg := range []Config{
+		{MinLeafSamples: 10},
+		{MinLeafSamples: 25, FeaturesPerSplit: -1, Seed: 3},
+		{MinLeafSamples: 10, FeaturesPerSplit: 2, MaxDepth: 5, Seed: 11},
+	} {
+		got, err := FitTree(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := legacyFitTree(d, cfg, got.numClasses)
+		sameNode(t, got.root, want.root, "root:")
+		sameImportance(t, got.importance, want.importance)
+	}
+}
+
+func TestColumnarExactMatchesLegacyDyadicWeights(t *testing.T) {
+	// Power-of-two weights: every partial sum is a dyadic rational, exactly
+	// representable, so accumulation order inside tie groups cannot matter.
+	d := tiedDataset(600, 5, 22)
+	rng := rand.New(rand.NewSource(23))
+	pow2 := []float64{0.5, 1, 2, 4}
+	d.W = make([]float64, d.NumInstances())
+	for i := range d.W {
+		d.W[i] = pow2[rng.Intn(len(pow2))]
+	}
+	cfg := Config{MinLeafSamples: 15, FeaturesPerSplit: 2, Seed: 7}
+	got, err := FitTree(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacyFitTree(d, cfg, got.numClasses)
+	sameNode(t, got.root, want.root, "root:")
+	sameImportance(t, got.importance, want.importance)
+}
+
+func TestColumnarRegressionMatchesLegacy(t *testing.T) {
+	// Tie-free features (continuous draws): both scans then accumulate in
+	// the same unique sorted order, so even arbitrary weights match exactly.
+	rng := rand.New(rand.NewSource(31))
+	n := 700
+	x := make([][]float64, n)
+	targets := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.Float64()}
+		targets[i] = math.Sin(x[i][0]) + 0.3*rng.NormFloat64()
+		weights[i] = 0.5 + rng.Float64()
+	}
+	for _, w := range [][]float64{nil, weights} {
+		for _, cfg := range []RegressionConfig{
+			{MinLeafSamples: 10},
+			{MinLeafSamples: 20, MaxDepth: 4, FeaturesPerSplit: -1, Seed: 5},
+		} {
+			got, err := FitRegressionTree(x, targets, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := legacyFitRegressionTree(x, targets, w, cfg)
+			sameNode(t, got.root, want.root, "root:")
+		}
+	}
+}
+
+// TestColumnarForestMatchesLegacyPerTreeFits replays FitForest's per-tree
+// seed derivation through the legacy grower: each forest tree must equal a
+// legacy fit of the same bootstrap (weighted draw included — the resample
+// then trains with unit weights, where bit-identity is guaranteed).
+func TestColumnarForestMatchesLegacyPerTreeFits(t *testing.T) {
+	d := tiedDataset(500, 4, 41)
+	d.W = make([]float64, d.NumInstances())
+	for i, y := range d.Y {
+		if y == 1 {
+			d.W[i] = 2.5
+		} else {
+			d.W[i] = 1
+		}
+	}
+	cfg := ForestConfig{NumTrees: 8, MinLeafSamples: 20, FeaturesPerSplit: -1, Seed: 17}
+	f, err := FitForest(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < cfg.NumTrees; tr++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)*1_000_003))
+		boot := d.Subset(bootstrapIdx(d, rng))
+		boot.W = nil // the draw already encoded the weights
+		want := legacyFitTree(boot, Config{
+			MinLeafSamples:   cfg.MinLeafSamples,
+			FeaturesPerSplit: cfg.FeaturesPerSplit,
+			Seed:             cfg.Seed + int64(tr)*7_000_003,
+		}, f.numClasses)
+		sameNode(t, f.trees[tr].root, want.root, "root:")
+		sameImportance(t, f.trees[tr].importance, want.importance)
+	}
+}

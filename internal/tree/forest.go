@@ -2,9 +2,11 @@ package tree
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 
 	"telcochurn/internal/dataset"
 	"telcochurn/internal/parallel"
@@ -26,6 +28,10 @@ type ForestConfig struct {
 	Seed int64
 	// Workers caps training parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// MaxBins enables histogram split search in every tree (see
+	// Config.MaxBins). Bin edges are computed once per forest from the full
+	// training matrix, as LightGBM does; 0 keeps exact splits.
+	MaxBins int
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -71,26 +77,44 @@ func FitForest(d *dataset.Dataset, cfg ForestConfig) (*Forest, error) {
 		numClasses = 2
 	}
 
+	if n > math.MaxInt32 {
+		return nil, errors.New("tree: dataset exceeds 2^31 rows")
+	}
+
+	// Transpose + presort (or bin) the training matrix once; every tree
+	// derives its bootstrap's feature orders from this shared view with a
+	// counting remap instead of re-sorting (see newBootstrapLayout).
+	treeCfg := Config{
+		MinLeafSamples:   cfg.MinLeafSamples,
+		MaxDepth:         cfg.MaxDepth,
+		FeaturesPerSplit: cfg.FeaturesPerSplit,
+		MaxBins:          cfg.MaxBins,
+	}.withDefaults()
+	cd := newColData(d.X, d.NumFeatures(), treeCfg.MaxBins)
+	// Bootstrap rows carry unit weight: weighted datasets encode their
+	// weights in the draw itself (see bootstrapIdx), so all trees share one
+	// read-only weight vector.
+	unitW := make([]float64, n)
+	for i := range unitW {
+		unitW[i] = 1
+	}
+
 	// Each tree draws from its own RNG stream keyed by tree index, so the
-	// ensemble is bit-identical for any worker count.
+	// ensemble is bit-identical for any worker count. The big per-tree
+	// buffers (gathered columns, remapped orders, partition scratch) cycle
+	// through a pool, so steady state allocates them once per worker rather
+	// than once per tree.
 	trees := make([]*Tree, cfg.NumTrees)
-	errs := make([]error, cfg.NumTrees)
+	pool := sync.Pool{New: func() any { return new(bootBuffers) }}
 	parallel.ForGrain(cfg.Workers, cfg.NumTrees, 1, func(t int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
-		boot := bootstrap(d, rng)
-		tr, err := fitTreeWithClasses(boot, Config{
-			MinLeafSamples:   cfg.MinLeafSamples,
-			MaxDepth:         cfg.MaxDepth,
-			FeaturesPerSplit: cfg.FeaturesPerSplit,
-			Seed:             cfg.Seed + int64(t)*7_000_003,
-		}, numClasses)
-		trees[t], errs[t] = tr, err
+		idx := bootstrapIdx(d, rng)
+		tc := treeCfg
+		tc.Seed = cfg.Seed + int64(t)*7_000_003
+		b := pool.Get().(*bootBuffers)
+		trees[t] = fitTreeBoot(cd, d, idx, unitW, tc, numClasses, b)
+		pool.Put(b)
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	imp := make([]float64, d.NumFeatures())
 	for _, tr := range trees {
@@ -110,42 +134,39 @@ func FitForest(d *dataset.Dataset, cfg ForestConfig) (*Forest, error) {
 	return &Forest{trees: trees, numClasses: numClasses, importance: imp, features: d.FeatureNames, workers: cfg.Workers}, nil
 }
 
-// fitTreeWithClasses is FitTree with an externally fixed class count, so a
-// bootstrap that misses a rare class still yields aligned probability
-// vectors.
-func fitTreeWithClasses(d *dataset.Dataset, cfg Config, numClasses int) (*Tree, error) {
-	cfg = cfg.withDefaults()
-	g := &grower{
-		x:          d.X,
-		y:          d.Y,
-		w:          weightsOf(d),
-		numClasses: numClasses,
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		importance: make([]float64, d.NumFeatures()),
+// fitTreeBoot fits one forest tree on the bootstrap draw idx over the
+// shared columnar view, gathering labels and deriving presorted orders/bins
+// for the resample without touching the row-major matrix again.
+func fitTreeBoot(cd *colData, d *dataset.Dataset, idx []int, unitW []float64, cfg Config, numClasses int, b *bootBuffers) *Tree {
+	if cap(b.y) < len(idx) {
+		b.y = make([]int, len(idx))
 	}
-	idx := make([]int, d.NumInstances())
-	for i := range idx {
-		idx[i] = i
+	y := b.y[:len(idx)]
+	for j, r := range idx {
+		y[j] = d.Y[r]
 	}
-	root := g.grow(idx, 0)
-	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}, nil
+	g := newColGrower(newBootstrapLayout(cd, d.X, idx, b), y, unitW, numClasses, d.NumFeatures(), cfg)
+	root := g.grow(0, len(idx), 0)
+	return &Tree{root: root, numClasses: numClasses, numFeat: d.NumFeatures(), importance: g.importance}
 }
 
-// bootstrap draws the per-tree sample. With instance weights present, rows
-// are drawn proportionally to weight (weighted bootstrap): plain class
-// weights only rescale leaf probabilities — a monotone recalibration that
-// leaves rankings untouched — whereas reweighted resampling changes which
-// splits the trees learn, which is what gives the Weighted Instance method
-// its Table 7 ranking gains.
-func bootstrap(d *dataset.Dataset, rng *rand.Rand) *dataset.Dataset {
+// bootstrapIdx draws the per-tree sample's row indices. With instance
+// weights present, rows are drawn proportionally to weight (weighted
+// bootstrap): plain class weights only rescale leaf probabilities — a
+// monotone recalibration that leaves rankings untouched — whereas
+// reweighted resampling changes which splits the trees learn, which is what
+// gives the Weighted Instance method its Table 7 ranking gains. The fit
+// itself then uses unit weights: the draw already encodes them, and
+// carrying them into the Gini computation would square their influence.
+// OOBScores.markBootstrap replays this draw; keep them in sync.
+func bootstrapIdx(d *dataset.Dataset, rng *rand.Rand) []int {
 	n := d.NumInstances()
 	idx := make([]int, n)
 	if d.W == nil {
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		return d.Subset(idx)
+		return idx
 	}
 	cum := make([]float64, n)
 	total := 0.0
@@ -160,11 +181,7 @@ func bootstrap(d *dataset.Dataset, rng *rand.Rand) *dataset.Dataset {
 			idx[i] = n - 1
 		}
 	}
-	boot := d.Subset(idx)
-	// The draw already encodes the weights; carrying them into the Gini
-	// computation would square their influence.
-	boot.W = nil
-	return boot
+	return idx
 }
 
 // PredictProba returns the ensemble-average class distribution (Eq. 4) for

@@ -25,6 +25,10 @@ type GBDTConfig struct {
 	// Subsample is the stochastic-gradient-boosting row fraction; 1 (or 0)
 	// disables subsampling.
 	Subsample float64
+	// MaxBins enables histogram split search in the base trees (see
+	// Config.MaxBins); 0 keeps exact splits. Bins are computed once and
+	// shared by all boosting rounds.
+	MaxBins int
 }
 
 func (c GBDTConfig) withDefaults() GBDTConfig {
@@ -84,12 +88,33 @@ func FitGBDT(d *dataset.Dataset, cfg GBDTConfig) (*GBDT, error) {
 	p0 := clampProb(posW / totW)
 	bias := math.Log(p0 / (1 - p0))
 
+	if n > math.MaxInt32 {
+		return nil, errors.New("tree: dataset exceeds 2^31 rows")
+	}
+
 	f := make([]float64, n)
 	for i := range f {
 		f[i] = bias
 	}
 	residual := make([]float64, n)
 	model := &GBDT{bias: bias, lr: cfg.LearningRate}
+
+	// One columnar view (transpose + presort or bins) serves every boosting
+	// round: only the targets change between rounds, never the feature
+	// geometry, so each round pays a copy of the order arrays instead of a
+	// per-node sort.
+	baseCfg := RegressionConfig{
+		MinLeafSamples: cfg.MinLeafSamples,
+		MaxDepth:       cfg.MaxDepth,
+		MaxBins:        cfg.MaxBins,
+	}
+	if baseCfg.MaxBins > maxBinsLimit {
+		baseCfg.MaxBins = maxBinsLimit
+	}
+	if baseCfg.MaxBins < 0 {
+		baseCfg.MaxBins = 0
+	}
+	cd := newColData(d.X, d.NumFeatures(), baseCfg.MaxBins)
 
 	for t := 0; t < cfg.NumTrees; t++ {
 		// Negative gradient of binomial deviance: y - p.
@@ -117,15 +142,10 @@ func FitGBDT(d *dataset.Dataset, cfg GBDTConfig) (*GBDT, error) {
 			}
 			return v
 		}
-		tr, err := FitRegressionTree(d.X, residual, w, RegressionConfig{
-			MinLeafSamples: cfg.MinLeafSamples,
-			MaxDepth:       cfg.MaxDepth,
-			Seed:           cfg.Seed + int64(t)*2_000_003,
-			LeafValue:      leafValue,
-		})
-		if err != nil {
-			return nil, err
-		}
+		rc := baseCfg
+		rc.Seed = cfg.Seed + int64(t)*2_000_003
+		rc.LeafValue = leafValue
+		tr := fitRegressionTreeOnData(cd, residual, w, rc)
 		model.trees = append(model.trees, tr)
 		for i := range f {
 			f[i] += cfg.LearningRate * tr.Predict(d.X[i])

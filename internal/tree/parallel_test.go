@@ -62,6 +62,40 @@ func TestFitForestDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFitForestHistogramDeterministicAcrossWorkers extends the guarantee to
+// histogram mode: binned split search must stay bit-identical for any
+// Workers setting too (bins are computed once per forest, before the
+// parallel tree loop).
+func TestFitForestHistogramDeterministicAcrossWorkers(t *testing.T) {
+	d := synthDataset(600, 8, 7)
+	cfg := ForestConfig{NumTrees: 40, MinLeafSamples: 10, Seed: 5, MaxBins: 32}
+
+	cfg.Workers = 1
+	f1, err := FitForest(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	f8, err := FitForest(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := f1.ScoreAll(d.X)
+	s8 := f8.ScoreAll(d.X)
+	for i := range s1 {
+		if s1[i] != s8[i] {
+			t.Fatalf("hist score %d differs across worker counts: %v vs %v", i, s1[i], s8[i])
+		}
+	}
+	i1, i8 := f1.Importance(), f8.Importance()
+	for j := range i1 {
+		if i1[j] != i8[j] {
+			t.Fatalf("hist importance %d differs across worker counts: %v vs %v", j, i1[j], i8[j])
+		}
+	}
+}
+
 func TestScoreAllEmptyAndSingle(t *testing.T) {
 	d := synthDataset(300, 5, 3)
 	f, err := FitForest(d, ForestConfig{NumTrees: 15, MinLeafSamples: 10, Seed: 1})

@@ -2,8 +2,8 @@ package tree
 
 import (
 	"errors"
+	"math"
 	"math/rand"
-	"sort"
 )
 
 // RegressionTree is a CART regression tree with variance-reduction splits.
@@ -23,31 +23,26 @@ type RegressionConfig struct {
 	FeaturesPerSplit int
 	// Seed drives feature subsampling.
 	Seed int64
+	// MaxBins enables histogram split search as in Config.MaxBins (0 =
+	// exact; clamped to 255).
+	MaxBins int
 	// LeafValue computes a leaf's output from the indices it holds; nil
 	// means the mean of targets.
 	LeafValue func(idx []int) float64
 }
 
-// FitRegressionTree fits targets (one per row of x) with weighted
-// squared-error splits.
-func FitRegressionTree(x [][]float64, targets, weights []float64, cfg RegressionConfig) (*RegressionTree, error) {
-	if len(x) == 0 {
-		return nil, errors.New("tree: empty regression dataset")
+func (c RegressionConfig) withDefaults(targets, weights []float64) RegressionConfig {
+	if c.MinLeafSamples == 0 {
+		c.MinLeafSamples = 20
 	}
-	if len(targets) != len(x) {
-		return nil, errors.New("tree: targets length mismatch")
+	if c.MaxBins > maxBinsLimit {
+		c.MaxBins = maxBinsLimit
 	}
-	if cfg.MinLeafSamples == 0 {
-		cfg.MinLeafSamples = 20
+	if c.MaxBins < 0 {
+		c.MaxBins = 0
 	}
-	if weights == nil {
-		weights = make([]float64, len(x))
-		for i := range weights {
-			weights[i] = 1
-		}
-	}
-	if cfg.LeafValue == nil {
-		cfg.LeafValue = func(idx []int) float64 {
+	if c.LeafValue == nil {
+		c.LeafValue = func(idx []int) float64 {
 			s, ws := 0.0, 0.0
 			for _, i := range idx {
 				s += targets[i] * weights[i]
@@ -59,18 +54,54 @@ func FitRegressionTree(x [][]float64, targets, weights []float64, cfg Regression
 			return s / ws
 		}
 	}
-	g := &regGrower{
-		x:   x,
+	return c
+}
+
+// FitRegressionTree fits targets (one per row of x) with weighted
+// squared-error splits on the columnar backend.
+func FitRegressionTree(x [][]float64, targets, weights []float64, cfg RegressionConfig) (*RegressionTree, error) {
+	if len(x) == 0 {
+		return nil, errors.New("tree: empty regression dataset")
+	}
+	if len(targets) != len(x) {
+		return nil, errors.New("tree: targets length mismatch")
+	}
+	if len(x) > math.MaxInt32 {
+		return nil, errors.New("tree: dataset exceeds 2^31 rows")
+	}
+	if weights == nil {
+		weights = unitWeights(len(x))
+	}
+	cfg = cfg.withDefaults(targets, weights)
+	cd := newColData(x, len(x[0]), cfg.MaxBins)
+	return fitRegressionTreeOnData(cd, targets, weights, cfg), nil
+}
+
+// fitRegressionTreeOnData grows one regression tree over a prebuilt
+// columnar view; cfg must already have defaults applied. GBDT calls this
+// once per boosting round, reusing the presort/bins across all rounds.
+func fitRegressionTreeOnData(cd *colData, targets, weights []float64, cfg RegressionConfig) *RegressionTree {
+	g := &colRegGrower{
+		lay: newLayout(cd),
 		t:   targets,
 		w:   weights,
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
+	if cd.binUpper != nil {
+		g.histSum = make([]float64, cfg.MaxBins)
+		g.histW = make([]float64, cfg.MaxBins)
+		g.histCnt = make([]int, cfg.MaxBins)
 	}
-	return &RegressionTree{root: g.grow(idx, 0)}, nil
+	return &RegressionTree{root: g.grow(0, cd.numRows, 0)}
+}
+
+func unitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
 }
 
 // Predict returns the tree's value for one instance.
@@ -86,46 +117,56 @@ func (t *RegressionTree) Predict(x []float64) float64 {
 	return nd.value
 }
 
-type regGrower struct {
-	x   [][]float64
+// colRegGrower grows one regression tree over a colLayout; like colGrower,
+// node splitting works on [start, end) segments and reuses the grower's
+// histogram buffers, so it allocates only at leaves (the LeafValue callback
+// receives a materialized index slice).
+type colRegGrower struct {
+	lay *colLayout
 	t   []float64
 	w   []float64
 	cfg RegressionConfig
 	rng *rand.Rand
+
+	histSum []float64 // histogram mode: per-bin sum of w·t
+	histW   []float64 // histogram mode: per-bin sum of w
+	histCnt []int     // histogram mode: per-bin unweighted count
 }
 
-func (g *regGrower) grow(idx []int, depth int) *node {
+func (g *colRegGrower) grow(start, end, depth int) *node {
+	n := end - start
 	leaf := func() *node {
-		return &node{value: g.cfg.LeafValue(idx), n: len(idx)}
+		return &node{value: g.cfg.LeafValue(g.lay.idxSlice(start, end)), n: n}
 	}
-	if len(idx) < 2*g.cfg.MinLeafSamples || (g.cfg.MaxDepth > 0 && depth == g.cfg.MaxDepth) {
+	if n < 2*g.cfg.MinLeafSamples || (g.cfg.MaxDepth > 0 && depth == g.cfg.MaxDepth) {
 		return leaf()
 	}
-	best := g.bestSplit(idx)
+	best := g.bestSplit(start, end)
 	if best.feature < 0 {
 		return leaf()
 	}
-	leftIdx, rightIdx := partition(g.x, idx, best.feature, best.threshold)
-	if len(leftIdx) < g.cfg.MinLeafSamples || len(rightIdx) < g.cfg.MinLeafSamples {
+	nLeft := g.lay.markSplit(start, end, best.feature, best.threshold)
+	if nLeft < g.cfg.MinLeafSamples || n-nLeft < g.cfg.MinLeafSamples {
 		return leaf()
 	}
-	return &node{
+	g.lay.commitSplit(start, end)
+	nd := &node{
 		feature:   best.feature,
 		threshold: best.threshold,
-		left:      g.grow(leftIdx, depth+1),
-		right:     g.grow(rightIdx, depth+1),
-		n:         len(idx),
+		n:         n,
 	}
+	nd.left = g.grow(start, start+nLeft, depth+1)
+	nd.right = g.grow(start+nLeft, end, depth+1)
+	return nd
 }
 
 // bestSplit maximizes weighted SSE reduction, which for fixed parent SSE is
 // equivalent to maximizing sumL²/wL + sumR²/wR.
-func (g *regGrower) bestSplit(idx []int) split {
-	numFeat := len(g.x[0])
-	features := sampleFeaturesReg(g.rng, numFeat, g.cfg.FeaturesPerSplit)
+func (g *colRegGrower) bestSplit(start, end int) split {
+	features := sampleSplitFeatures(g.rng, len(g.lay.cols), g.cfg.FeaturesPerSplit)
 
 	totalSum, totalW := 0.0, 0.0
-	for _, i := range idx {
+	for _, i := range g.lay.rows[start:end] {
 		totalSum += g.t[i] * g.w[i]
 		totalW += g.w[i]
 	}
@@ -135,60 +176,86 @@ func (g *regGrower) bestSplit(idx []int) split {
 	}
 
 	best := split{feature: -1}
-	vals := make([]float64, len(idx))
-	order := make([]int, len(idx))
 	for _, f := range features {
-		for j, i := range idx {
-			vals[j] = g.x[i][f]
-			order[j] = j
-		}
-		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
-
-		leftSum, leftW := 0.0, 0.0
-		for pos := 0; pos < len(order)-1; pos++ {
-			i := idx[order[pos]]
-			leftSum += g.t[i] * g.w[i]
-			leftW += g.w[i]
-			cur, next := vals[order[pos]], vals[order[pos+1]]
-			if cur == next {
-				continue
-			}
-			nLeft := pos + 1
-			nRight := len(order) - nLeft
-			if nLeft < g.cfg.MinLeafSamples || nRight < g.cfg.MinLeafSamples {
-				continue
-			}
-			rightSum, rightW := totalSum-leftSum, totalW-leftW
-			if leftW <= 0 || rightW <= 0 {
-				continue
-			}
-			gain := leftSum*leftSum/leftW + rightSum*rightSum/rightW - baseScore
-			if gain > best.improvement {
-				best = split{feature: f, threshold: (cur + next) / 2, improvement: gain}
-			}
+		if g.lay.orders != nil {
+			g.scanExact(f, start, end, totalSum, totalW, baseScore, &best)
+		} else {
+			g.scanHist(f, start, end, totalSum, totalW, baseScore, &best)
 		}
 	}
 	return best
 }
 
-func sampleFeaturesReg(rng *rand.Rand, numFeat, k int) []int {
-	switch {
-	case k == 0 || k >= numFeat:
-		all := make([]int, numFeat)
-		for i := range all {
-			all[i] = i
+func (g *colRegGrower) scanExact(f, start, end int, totalSum, totalW, baseScore float64, best *split) {
+	ord := g.lay.orders[f][start:end]
+	col := g.lay.cols[f]
+	minLeaf := g.cfg.MinLeafSamples
+	leftSum, leftW := 0.0, 0.0
+	for pos := 0; pos < len(ord)-1; pos++ {
+		i := ord[pos]
+		leftSum += g.t[i] * g.w[i]
+		leftW += g.w[i]
+		cur, next := col[i], col[ord[pos+1]]
+		if cur == next {
+			continue
 		}
-		return all
-	case k == -1:
-		k = intSqrt(numFeat)
+		nLeft := pos + 1
+		nRight := len(ord) - nLeft
+		if nLeft < minLeaf || nRight < minLeaf {
+			continue
+		}
+		rightSum, rightW := totalSum-leftSum, totalW-leftW
+		if leftW <= 0 || rightW <= 0 {
+			continue
+		}
+		gain := leftSum*leftSum/leftW + rightSum*rightSum/rightW - baseScore
+		if gain > best.improvement {
+			*best = split{feature: f, threshold: (cur + next) / 2, improvement: gain}
+		}
 	}
-	return rng.Perm(numFeat)[:k]
 }
 
-func intSqrt(n int) int {
-	k := 1
-	for (k+1)*(k+1) <= n {
-		k++
+func (g *colRegGrower) scanHist(f, start, end int, totalSum, totalW, baseScore float64, best *split) {
+	upper := g.lay.binUpper[f]
+	if len(upper) == 0 {
+		return
 	}
-	return k
+	nb := len(upper) + 1
+	hs := g.histSum[:nb]
+	hw := g.histW[:nb]
+	hc := g.histCnt[:nb]
+	for b := 0; b < nb; b++ {
+		hs[b], hw[b], hc[b] = 0, 0, 0
+	}
+	bins := g.lay.binIdx[f]
+	for _, i := range g.lay.rows[start:end] {
+		b := int(bins[i])
+		hs[b] += g.t[i] * g.w[i]
+		hw[b] += g.w[i]
+		hc[b]++
+	}
+	minLeaf := g.cfg.MinLeafSamples
+	total := end - start
+	leftSum, leftW := 0.0, 0.0
+	nLeft := 0
+	for b := 0; b < nb-1; b++ {
+		leftSum += hs[b]
+		leftW += hw[b]
+		nLeft += hc[b]
+		if hc[b] == 0 {
+			continue
+		}
+		nRight := total - nLeft
+		if nLeft < minLeaf || nRight < minLeaf {
+			continue
+		}
+		rightSum, rightW := totalSum-leftSum, totalW-leftW
+		if leftW <= 0 || rightW <= 0 {
+			continue
+		}
+		gain := leftSum*leftSum/leftW + rightSum*rightSum/rightW - baseScore
+		if gain > best.improvement {
+			*best = split{feature: f, threshold: upper[b], improvement: gain}
+		}
+	}
 }

@@ -263,20 +263,94 @@ func TestWeightedBootstrapOversamplesMinority(t *testing.T) {
 			d.W[i] = 0.555
 		}
 	}
-	boot := bootstrap(d, rand.New(rand.NewSource(3)))
+	idx := bootstrapIdx(d, rand.New(rand.NewSource(3)))
 	pos := 0
-	for _, y := range boot.Y {
-		if y == 1 {
+	for _, i := range idx {
+		if d.Y[i] == 1 {
 			pos++
 		}
 	}
-	frac := float64(pos) / float64(boot.NumInstances())
+	frac := float64(pos) / float64(len(idx))
 	// Weighted draw targets ~50% positives; uniform would give ~10%.
 	if frac < 0.4 || frac > 0.6 {
 		t.Errorf("weighted bootstrap positive fraction %.3f, want ~0.5", frac)
 	}
-	if boot.W != nil {
-		t.Error("weighted bootstrap must clear weights (they are encoded in the draw)")
+}
+
+func TestHistogramTreeLearnsSeparableData(t *testing.T) {
+	d := separable(500, 1)
+	tr, err := FitTree(d, Config{MinLeafSamples: 10, MaxBins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	test := separable(200, 2)
+	for i, x := range test.X {
+		if tr.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Errorf("histogram tree accuracy %.2f on separable data, want >= 0.95", acc)
+	}
+}
+
+func TestHistogramForestLearnsAndClampsBins(t *testing.T) {
+	d := separable(600, 15)
+	// MaxBins above the uint8 limit must clamp, not break.
+	f, err := FitForest(d, ForestConfig{NumTrees: 30, MinLeafSamples: 10, Seed: 1, MaxBins: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := separable(300, 16)
+	correct := 0
+	for i, x := range test.X {
+		if f.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 300; acc < 0.93 {
+		t.Errorf("histogram forest accuracy %.2f, want >= 0.93", acc)
+	}
+}
+
+func TestHistogramBinEdges(t *testing.T) {
+	// Tied values must share a bin: only 3 distinct values means at most 2
+	// cut points no matter how many bins were requested.
+	sorted := []float64{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}
+	edges := binEdges(sorted, 8)
+	if len(edges) > 2 {
+		t.Fatalf("binEdges produced %d edges for 3 distinct values", len(edges))
+	}
+	for _, e := range edges {
+		if e != 1.5 && e != 2.5 {
+			t.Errorf("edge %v is not a midpoint between distinct values", e)
+		}
+	}
+	if got := binEdges([]float64{5, 5, 5, 5}, 4); len(got) != 0 {
+		t.Errorf("constant feature produced edges %v", got)
+	}
+}
+
+func TestGBDTHistogramMode(t *testing.T) {
+	d := separable(600, 17)
+	g, err := FitGBDT(d, GBDTConfig{NumTrees: 40, MinLeafSamples: 20, Seed: 1, MaxBins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := separable(300, 18)
+	correct := 0
+	for i, x := range test.X {
+		pred := 0
+		if g.Score(x) > 0.5 {
+			pred = 1
+		}
+		if pred == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 300; acc < 0.93 {
+		t.Errorf("histogram GBDT accuracy %.2f, want >= 0.93", acc)
 	}
 }
 
