@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-profile ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile ci experiments examples clean
 
 all: build vet test
 
@@ -37,6 +37,13 @@ bench:
 # paying for stable timings (mirrors the CI smoke job).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./...
+
+# Machine-readable benchmark report (ns/op, B/op, allocs/op as JSON), for
+# committing alongside perf PRs and diffing in CI. BENCH ?= regex, OUT ?= file.
+BENCH ?= BenchmarkTableGroupBy|BenchmarkTableHashJoin|BenchmarkWideTableBuild
+OUT ?= BENCH.json
+bench-json:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -benchtime 2s -pkg . -out $(OUT)
 
 # CPU + heap profiles of the tree-training benchmarks; inspect with
 # `go tool pprof cpu.out` / `go tool pprof mem.out` (see DESIGN.md §8).

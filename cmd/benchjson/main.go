@@ -1,0 +1,143 @@
+// Command benchjson runs the repo's Go benchmarks and emits a
+// machine-readable JSON report (ns/op, B/op, allocs/op per benchmark), so CI
+// and PRs can diff performance numbers without scraping `go test` text:
+//
+//	benchjson -bench 'BenchmarkTable.*' -benchtime 2s -out BENCH.json
+//
+// It shells out to `go test -run ^$ -bench ... -benchmem` in the target
+// package and parses the standard benchmark output format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"package,omitempty"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark time passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	report, err := run(*bench, *benchtime, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+func run(bench, benchtime, pkg string) (*Report, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+
+	report := &Report{Package: pkg, Bench: bench, Benchtime: benchtime}
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream visible
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q", bench)
+	}
+	return report, nil
+}
+
+// parseLine parses one standard benchmark result line, e.g.
+//
+//	BenchmarkTableGroupBy  26955  89036 ns/op  86456 B/op  47 allocs/op
+//
+// Unit-bearing fields beyond the three standard ones are ignored.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"telcochurn/internal/experiments"
@@ -63,7 +65,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   churnctl generate -out DIR [-customers N] [-months N] [-seed N]
-  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N]
+  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N] [-cpuprofile F] [-memprofile F]
   churnctl inspect -warehouse DIR
   churnctl explain [-customers N] [-top N]   root causes of predicted churners
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
@@ -168,7 +170,35 @@ func cmdRun(args []string) error {
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per tree leaf")
 	workers := fs.Int("workers", 0, "parallelism across the pipeline (0 = all cores); results are identical for any value")
 	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args[1:])
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("run: -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("run: -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "churnctl: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "churnctl: -memprofile:", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{
 		Customers: *customers,

@@ -187,11 +187,11 @@ func colMap(t *table.Table, valueCol string) map[int64]float64 {
 	return out
 }
 
-// sumBy filters t by pred and sums valueCol per customer via the engine's
-// group-by (the paper's Spark SQL aggregation queries).
+// sumBy sums valueCol per customer over the rows passing pred, via the
+// engine's fused filter+group-by (the paper's Spark SQL aggregation queries
+// with predicate pushdown): no filtered copy of t is materialized.
 func sumBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]float64 {
-	ft := t.Filter(pred)
-	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: valueCol, Func: table.Sum, As: "v"})
+	g, err := table.GroupByWhere(t, "imsi", pred, table.Agg{Col: valueCol, Func: table.Sum, As: "v"})
 	if err != nil {
 		panic(fmt.Sprintf("features: sumBy(%s): %v", valueCol, err))
 	}
@@ -199,8 +199,7 @@ func sumBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]float
 }
 
 func countBy(t *table.Table, pred func(int) bool) map[int64]float64 {
-	ft := t.Filter(pred)
-	g, err := table.GroupBy(ft, "imsi", table.Agg{Func: table.Count, As: "v"})
+	g, err := table.GroupByWhere(t, "imsi", pred, table.Agg{Func: table.Count, As: "v"})
 	if err != nil {
 		panic(fmt.Sprintf("features: countBy: %v", err))
 	}
@@ -208,8 +207,7 @@ func countBy(t *table.Table, pred func(int) bool) map[int64]float64 {
 }
 
 func meanBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]float64 {
-	ft := t.Filter(pred)
-	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: valueCol, Func: table.Mean, As: "v"})
+	g, err := table.GroupByWhere(t, "imsi", pred, table.Agg{Col: valueCol, Func: table.Mean, As: "v"})
 	if err != nil {
 		panic(fmt.Sprintf("features: meanBy(%s): %v", valueCol, err))
 	}
@@ -217,8 +215,7 @@ func meanBy(t *table.Table, pred func(int) bool, valueCol string) map[int64]floa
 }
 
 func distinctBy(t *table.Table, pred func(int) bool, col string) map[int64]float64 {
-	ft := t.Filter(pred)
-	g, err := table.GroupBy(ft, "imsi", table.Agg{Col: col, Func: table.CountDistinct, As: "v"})
+	g, err := table.GroupByWhere(t, "imsi", pred, table.Agg{Col: col, Func: table.CountDistinct, As: "v"})
 	if err != nil {
 		panic(fmt.Sprintf("features: distinctBy(%s): %v", col, err))
 	}

@@ -1,0 +1,306 @@
+// Vectorized execution machinery shared by the engine's operators.
+//
+// The two building blocks are the group index — a dense, ascending-key
+// group-id assignment that replaces per-group row-slice buckets — and typed
+// bulk gathers that replace per-cell appends. Both are deterministic by
+// construction: the group index depends only on the input rows (never on
+// scheduling), every float aggregate is accumulated per group in row order by
+// exactly one task, and gathers are pure scatters by precomputed index. The
+// operators built on top are therefore bit-identical for any Exec.Workers
+// setting (DESIGN §6, §9).
+package table
+
+import (
+	"math"
+	"sort"
+
+	"telcochurn/internal/parallel"
+)
+
+// Exec carries execution options for the vectorized operators (GroupByExec,
+// GroupByWhereExec, HashJoinExec). Workers caps the goroutines one operator
+// call may use; 0 means GOMAXPROCS. The plain wrappers (GroupBy, HashJoin,
+// ...) run with Workers=1 because the feature pipeline already fans out
+// across whole operator calls (DESIGN §6) — results are identical either
+// way, only scheduling changes.
+type Exec struct {
+	Workers int
+}
+
+// groupGrain is how many groups one parallel task claims during an
+// aggregation pass: large enough to amortize scheduling, small enough to
+// balance skewed group sizes. Grain never affects results.
+const groupGrain = 128
+
+// groupIndex is the dense group assignment computed once per GroupBy call
+// and shared by every aggregation pass: the distinct keys in ascending
+// order, plus the kept row indices regrouped key by key with the original
+// row order preserved inside each group. Per-group row order matching the
+// input is what keeps float sums bit-identical to a row-at-a-time
+// aggregation (see DESIGN §9).
+type groupIndex struct {
+	keys  []int64 // distinct key values, ascending
+	start []int32 // group g owns rows perm[start[g]:start[g+1]]; len(keys)+1 entries
+	perm  []int32 // kept row indices grouped by key; nil = identity (sorted, unfiltered input)
+}
+
+func (gi *groupIndex) groups() int { return len(gi.keys) }
+
+// row resolves position j of the grouped order to a source row index.
+func (gi *groupIndex) row(j int32) int32 {
+	if gi.perm == nil {
+		return j
+	}
+	return gi.perm[j]
+}
+
+// buildGroupIndex assigns dense group ids over the key column, optionally
+// fused with a row predicate (pred == nil keeps every row). The predicate is
+// evaluated exactly once per row. Already-sorted keys — the common case for
+// monthly per-IMSI tables — skip the hash map entirely and, when unfiltered,
+// skip the permutation array too.
+func buildGroupIndex(keys []int64, pred func(int) bool) groupIndex {
+	var kept []int32
+	keptKeys := keys
+	if pred != nil {
+		kept = make([]int32, 0, len(keys))
+		for i := range keys {
+			if pred(i) {
+				kept = append(kept, int32(i))
+			}
+		}
+		keptKeys = make([]int64, len(kept))
+		for j, r := range kept {
+			keptKeys[j] = keys[r]
+		}
+	}
+	if int64sSorted(keptKeys) {
+		return runsIndex(keptKeys, kept)
+	}
+	return hashIndex(keptKeys, kept)
+}
+
+func int64sSorted(keys []int64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// runsIndex is the sorted fast path: group boundaries are the key-change
+// positions, first-occurrence order is already ascending, and the kept rows
+// are already grouped, so the permutation is the kept list itself (nil =
+// identity when nothing was filtered).
+func runsIndex(keptKeys []int64, kept []int32) groupIndex {
+	gi := groupIndex{perm: kept}
+	for j, k := range keptKeys {
+		if j == 0 || k != keptKeys[j-1] {
+			gi.keys = append(gi.keys, k)
+			gi.start = append(gi.start, int32(j))
+		}
+	}
+	gi.start = append(gi.start, int32(len(keptKeys)))
+	return gi
+}
+
+// hashIndex is the general path: first-occurrence dense ids via one hash
+// pass, an ascending-key remap over the (few) distinct keys, then a counting
+// scatter that regroups the kept rows — no per-group slices, no resizing.
+func hashIndex(keptKeys []int64, kept []int32) groupIndex {
+	ids := make(map[int64]int32, 64)
+	gid := make([]int32, len(keptKeys))
+	var first []int64 // key per first-occurrence id
+	for j, k := range keptKeys {
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(first))
+			ids[k] = id
+			first = append(first, k)
+		}
+		gid[j] = id
+	}
+	ng := len(first)
+
+	// Remap first-occurrence ids to ascending-key order.
+	byKey := make([]int32, ng)
+	for i := range byKey {
+		byKey[i] = int32(i)
+	}
+	sort.Slice(byKey, func(a, b int) bool { return first[byKey[a]] < first[byKey[b]] })
+	remap := make([]int32, ng)
+	keysAsc := make([]int64, ng)
+	for newID, oldID := range byKey {
+		remap[oldID] = int32(newID)
+		keysAsc[newID] = first[oldID]
+	}
+
+	// Count group sizes, prefix-sum into offsets, then scatter the kept rows
+	// stably (input order within each group is preserved).
+	start := make([]int32, ng+1)
+	for _, id := range gid {
+		start[remap[id]+1]++
+	}
+	for g := 0; g < ng; g++ {
+		start[g+1] += start[g]
+	}
+	cursor := append([]int32(nil), start[:ng]...)
+	perm := make([]int32, len(keptKeys))
+	for j, id := range gid {
+		g := remap[id]
+		row := int32(j)
+		if kept != nil {
+			row = kept[j]
+		}
+		perm[cursor[g]] = row
+		cursor[g]++
+	}
+	return groupIndex{keys: keysAsc, start: start, perm: perm}
+}
+
+// forGroups runs fn over every group's [lo, hi) position range, parallel
+// across groups. Each group is handled by exactly one invocation, so
+// order-sensitive per-group reductions stay deterministic for any worker
+// count.
+func forGroups(workers int, gi *groupIndex, fn func(g int, lo, hi int32)) {
+	parallel.ForGrain(workers, gi.groups(), groupGrain, func(g int) {
+		fn(g, gi.start[g], gi.start[g+1])
+	})
+}
+
+// sumRange accumulates vals over one group's position range in row order —
+// the same addition order as a row-at-a-time scan of the group.
+func sumRange(vals []float64, gi *groupIndex, lo, hi int32) float64 {
+	s := 0.0
+	if gi.perm == nil {
+		for r := lo; r < hi; r++ {
+			s += vals[r]
+		}
+		return s
+	}
+	for _, r := range gi.perm[lo:hi] {
+		s += vals[r]
+	}
+	return s
+}
+
+// sumRangeInt is sumRange over an Int64 column with the engine's float
+// coercion (each value converted, then added, matching Column.Float).
+func sumRangeInt(vals []int64, gi *groupIndex, lo, hi int32) float64 {
+	s := 0.0
+	if gi.perm == nil {
+		for r := lo; r < hi; r++ {
+			s += float64(vals[r])
+		}
+		return s
+	}
+	for _, r := range gi.perm[lo:hi] {
+		s += float64(vals[r])
+	}
+	return s
+}
+
+// minMaxRange folds one group's range with the engine's min/max semantics
+// (strict < / > against an infinity seed, so NaNs never win).
+func minMaxRange(vals []float64, gi *groupIndex, lo, hi int32, max bool) float64 {
+	m := math.Inf(1)
+	if max {
+		m = math.Inf(-1)
+	}
+	step := func(v float64) {
+		if max {
+			if v > m {
+				m = v
+			}
+		} else if v < m {
+			m = v
+		}
+	}
+	if gi.perm == nil {
+		for r := lo; r < hi; r++ {
+			step(vals[r])
+		}
+	} else {
+		for _, r := range gi.perm[lo:hi] {
+			step(vals[r])
+		}
+	}
+	return m
+}
+
+func minMaxRangeInt(vals []int64, gi *groupIndex, lo, hi int32, max bool) float64 {
+	m := math.Inf(1)
+	if max {
+		m = math.Inf(-1)
+	}
+	step := func(v float64) {
+		if max {
+			if v > m {
+				m = v
+			}
+		} else if v < m {
+			m = v
+		}
+	}
+	if gi.perm == nil {
+		for r := lo; r < hi; r++ {
+			step(float64(vals[r]))
+		}
+	} else {
+		for _, r := range gi.perm[lo:hi] {
+			step(float64(vals[r]))
+		}
+	}
+	return m
+}
+
+// rowIndex is the index element type accepted by the gather kernels.
+type rowIndex interface{ ~int | ~int32 }
+
+// gatherSlice bulk-copies src values at the given row indices into a fresh
+// exactly-sized slice.
+func gatherSlice[T any, I rowIndex](src []T, idx []I) []T {
+	out := make([]T, len(idx))
+	for j, r := range idx {
+		out[j] = src[r]
+	}
+	return out
+}
+
+// gatherSliceZero is gatherSlice where a negative row index yields T's zero
+// value — the engine's NULL substitute for a LeftJoin's unmatched rows.
+func gatherSliceZero[T any, I rowIndex](src []T, idx []I) []T {
+	out := make([]T, len(idx))
+	for j, r := range idx {
+		if r >= 0 {
+			out[j] = src[r]
+		}
+	}
+	return out
+}
+
+// gatherInto fills dst (same type as src) with one typed bulk gather.
+// zeroNeg enables the negative-index zero fill.
+func gatherInto[I rowIndex](dst, src *Column, idx []I, zeroNeg bool) {
+	switch src.Type {
+	case Int64:
+		if zeroNeg {
+			dst.Ints = gatherSliceZero(src.Ints, idx)
+		} else {
+			dst.Ints = gatherSlice(src.Ints, idx)
+		}
+	case Float64:
+		if zeroNeg {
+			dst.Floats = gatherSliceZero(src.Floats, idx)
+		} else {
+			dst.Floats = gatherSlice(src.Floats, idx)
+		}
+	default:
+		if zeroNeg {
+			dst.Strings = gatherSliceZero(src.Strings, idx)
+		} else {
+			dst.Strings = gatherSlice(src.Strings, idx)
+		}
+	}
+}

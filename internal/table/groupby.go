@@ -2,8 +2,9 @@ package table
 
 import (
 	"fmt"
-	"math"
 	"sort"
+
+	"telcochurn/internal/parallel"
 )
 
 // AggFunc enumerates the aggregation functions supported by GroupBy. These
@@ -59,9 +60,37 @@ type Agg struct {
 
 // GroupBy groups t by the Int64 key column and computes the aggregations.
 // The result has the key column first, then one Float64 column per Agg
-// (First on a String column yields a String column), ordered by ascending
-// key for determinism.
+// (First on an Int64/String column keeps the source type), ordered by
+// ascending key for determinism.
+//
+// Execution is vectorized: one dense group-id pass over the key column
+// (already-sorted keys skip the hash map entirely), then one typed columnar
+// accumulation pass per aggregate into exactly-sized output arrays. Floats
+// accumulate per group in row order, so the result is cell-for-cell
+// identical to a row-at-a-time aggregation of the same rows.
 func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
+	return GroupByWhereExec(t, key, nil, Exec{Workers: 1}, aggs...)
+}
+
+// GroupByExec is GroupBy with execution options; aggregation passes run
+// parallel across aggregates and across groups within a pass. The output is
+// bit-identical for any Exec.Workers value.
+func GroupByExec(t *Table, key string, ex Exec, aggs ...Agg) (*Table, error) {
+	return GroupByWhereExec(t, key, nil, ex, aggs...)
+}
+
+// GroupByWhere is GroupBy with the row predicate fused into the aggregation
+// pass: it produces exactly the table GroupBy would produce on
+// t.Filter(pred) — same groups, same values, cell for cell — without
+// materializing the filtered copy. pred is evaluated once per row; nil keeps
+// every row. This is the engine's filter→group-by fusion, the shape of
+// nearly every per-customer aggregation in the wide-table build.
+func GroupByWhere(t *Table, key string, pred func(row int) bool, aggs ...Agg) (*Table, error) {
+	return GroupByWhereExec(t, key, pred, Exec{Workers: 1}, aggs...)
+}
+
+// GroupByWhereExec is GroupByWhere with execution options.
+func GroupByWhereExec(t *Table, key string, pred func(row int) bool, ex Exec, aggs ...Agg) (*Table, error) {
 	ki := t.Schema.Index(key)
 	if ki < 0 {
 		return nil, fmt.Errorf("table: group-by unknown key %q", key)
@@ -70,19 +99,14 @@ func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
 		return nil, fmt.Errorf("table: group-by key %q must be BIGINT", key)
 	}
 
-	type colRef struct {
-		col *Column
-	}
-	refs := make([]colRef, len(aggs))
+	srcs := make([]*Column, len(aggs)) // nil for Count
 	fields := []Field{{Name: key, Type: Int64}}
 	for i, a := range aggs {
 		if a.As == "" {
 			return nil, fmt.Errorf("table: aggregation %d has empty output name", i)
 		}
 		outType := Float64
-		if a.Func == Count {
-			refs[i] = colRef{nil}
-		} else {
+		if a.Func != Count {
 			ci := t.Schema.Index(a.Col)
 			if ci < 0 {
 				return nil, fmt.Errorf("table: aggregation on unknown column %q", a.Col)
@@ -95,7 +119,7 @@ func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
 			} else if c.Type == String && a.Func != CountDistinct {
 				return nil, fmt.Errorf("table: %s on string column %q", a.Func, a.Col)
 			}
-			refs[i] = colRef{c}
+			srcs[i] = c
 		}
 		fields = append(fields, Field{Name: a.As, Type: outType})
 	}
@@ -104,89 +128,147 @@ func GroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
 		return nil, err
 	}
 
-	// Bucket row indices by key.
-	keys := t.Cols[ki].Ints
-	groups := make(map[int64][]int)
-	order := make([]int64, 0)
-	for i, k := range keys {
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], i)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-
+	gi := buildGroupIndex(t.Cols[ki].Ints, pred)
 	out := NewTable(schema)
-	out.Grow(len(order)) // one output row per distinct key
-	for _, k := range order {
-		rows := groups[k]
-		out.Cols[0].AppendInt(k)
-		for ai, a := range aggs {
-			dst := out.Cols[ai+1]
-			src := refs[ai].col
-			switch a.Func {
-			case Count:
-				dst.AppendFloat(float64(len(rows)))
-			case First:
-				dst.appendFrom(src, rows[0])
-			case CountDistinct:
-				dst.AppendFloat(float64(countDistinct(src, rows)))
-			case Sum:
-				s := 0.0
-				for _, r := range rows {
-					s += src.Float(r)
-				}
-				dst.AppendFloat(s)
-			case Mean:
-				s := 0.0
-				for _, r := range rows {
-					s += src.Float(r)
-				}
-				dst.AppendFloat(s / float64(len(rows)))
-			case Min:
-				m := math.Inf(1)
-				for _, r := range rows {
-					if v := src.Float(r); v < m {
-						m = v
-					}
-				}
-				dst.AppendFloat(m)
-			case Max:
-				m := math.Inf(-1)
-				for _, r := range rows {
-					if v := src.Float(r); v > m {
-						m = v
-					}
-				}
-				dst.AppendFloat(m)
-			default:
-				return nil, fmt.Errorf("table: unsupported aggregation %v", a.Func)
-			}
+	out.Cols[0].Ints = gi.keys
+
+	// One typed columnar pass per aggregate, parallel across aggregates; each
+	// pass parallelizes across groups (forGroups). Passes only write their own
+	// preallocated output array, so the fan-out is race-free and ordering-free.
+	errs := make([]error, len(aggs))
+	parallelAggs(ex.Workers, len(aggs), func(ai int) {
+		errs[ai] = aggPass(out.Cols[ai+1], srcs[ai], aggs[ai].Func, &gi, ex.Workers)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
-func countDistinct(c *Column, rows []int) int {
-	switch c.Type {
-	case Int64:
-		seen := make(map[int64]struct{}, len(rows))
-		for _, r := range rows {
-			seen[c.Ints[r]] = struct{}{}
+// parallelAggs fans fn across aggregate indices (grain 1: passes are big).
+func parallelAggs(workers, n int, fn func(ai int)) {
+	if n == 1 { // common case: skip pool setup
+		fn(0)
+		return
+	}
+	parallel.ForGrain(workers, n, 1, fn)
+}
+
+// aggPass computes one aggregate over every group into dst's preallocated
+// backing array. src is nil for Count. The kernel is selected once per pass
+// — no per-value type switches inside the loops.
+func aggPass(dst, src *Column, fn AggFunc, gi *groupIndex, workers int) error {
+	ng := gi.groups()
+	switch fn {
+	case Count:
+		vals := make([]float64, ng)
+		for g := range vals {
+			vals[g] = float64(gi.start[g+1] - gi.start[g])
 		}
-		return len(seen)
-	case Float64:
-		seen := make(map[float64]struct{}, len(rows))
-		for _, r := range rows {
-			seen[c.Floats[r]] = struct{}{}
+		dst.Floats = vals
+		return nil
+
+	case First:
+		firstRows := make([]int32, ng)
+		for g := range firstRows {
+			firstRows[g] = gi.row(gi.start[g])
 		}
-		return len(seen)
+		gatherInto(dst, src, firstRows, false)
+		return nil
+
+	case Sum, Mean:
+		vals := make([]float64, ng)
+		if src.Type == Int64 {
+			ints := src.Ints
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				vals[g] = sumRangeInt(ints, gi, lo, hi)
+			})
+		} else {
+			floats := src.Floats
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				vals[g] = sumRange(floats, gi, lo, hi)
+			})
+		}
+		if fn == Mean {
+			for g := range vals {
+				vals[g] /= float64(gi.start[g+1] - gi.start[g])
+			}
+		}
+		dst.Floats = vals
+		return nil
+
+	case Min, Max:
+		vals := make([]float64, ng)
+		if src.Type == Int64 {
+			ints := src.Ints
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				vals[g] = minMaxRangeInt(ints, gi, lo, hi, fn == Max)
+			})
+		} else {
+			floats := src.Floats
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				vals[g] = minMaxRange(floats, gi, lo, hi, fn == Max)
+			})
+		}
+		dst.Floats = vals
+		return nil
+
+	case CountDistinct:
+		vals := make([]float64, ng)
+		switch src.Type {
+		case Int64:
+			ints := src.Ints
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				seen := make(map[int64]struct{}, hi-lo)
+				if gi.perm == nil {
+					for r := lo; r < hi; r++ {
+						seen[ints[r]] = struct{}{}
+					}
+				} else {
+					for _, r := range gi.perm[lo:hi] {
+						seen[ints[r]] = struct{}{}
+					}
+				}
+				vals[g] = float64(len(seen))
+			})
+		case Float64:
+			floats := src.Floats
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				seen := make(map[float64]struct{}, hi-lo)
+				if gi.perm == nil {
+					for r := lo; r < hi; r++ {
+						seen[floats[r]] = struct{}{}
+					}
+				} else {
+					for _, r := range gi.perm[lo:hi] {
+						seen[floats[r]] = struct{}{}
+					}
+				}
+				vals[g] = float64(len(seen))
+			})
+		default:
+			strs := src.Strings
+			forGroups(workers, gi, func(g int, lo, hi int32) {
+				seen := make(map[string]struct{}, hi-lo)
+				if gi.perm == nil {
+					for r := lo; r < hi; r++ {
+						seen[strs[r]] = struct{}{}
+					}
+				} else {
+					for _, r := range gi.perm[lo:hi] {
+						seen[strs[r]] = struct{}{}
+					}
+				}
+				vals[g] = float64(len(seen))
+			})
+		}
+		dst.Floats = vals
+		return nil
+
 	default:
-		seen := make(map[string]struct{}, len(rows))
-		for _, r := range rows {
-			seen[c.Strings[r]] = struct{}{}
-		}
-		return len(seen)
+		return fmt.Errorf("table: unsupported aggregation %v", fn)
 	}
 }
 

@@ -2,6 +2,8 @@ package table
 
 import (
 	"fmt"
+
+	"telcochurn/internal/parallel"
 )
 
 // JoinKind selects the join semantics.
@@ -24,7 +26,19 @@ const (
 //
 // The right side is hashed; rows stream from the left, so put the smaller
 // table on the right. Right-side duplicates multiply, as in SQL.
+//
+// Execution is vectorized: one pass over the left keys builds leftRow/
+// rightRow gather-index arrays, then every output column is emitted with a
+// single typed bulk gather into an exactly-sized array — no per-cell
+// appends.
 func HashJoin(left, right *Table, key string, kind JoinKind) (*Table, error) {
+	return HashJoinExec(left, right, key, kind, Exec{Workers: 1})
+}
+
+// HashJoinExec is HashJoin with execution options; output columns gather in
+// parallel. Gathers are pure scatters by precomputed index, so the result is
+// bit-identical for any Exec.Workers value.
+func HashJoinExec(left, right *Table, key string, kind JoinKind, ex Exec) (*Table, error) {
 	lk := left.Schema.Index(key)
 	rk := right.Schema.Index(key)
 	if lk < 0 || rk < 0 {
@@ -54,60 +68,83 @@ func HashJoin(left, right *Table, key string, kind JoinKind) (*Table, error) {
 	}
 	out := NewTable(schema)
 
-	// Build hash table over right keys.
+	// Index the right side as dense groups: key → group id, plus a stable
+	// counting-sort scatter so group g's rows are perm[start[g]:start[g+1]]
+	// in original row order. Two flat arrays and one int32-valued map — no
+	// per-key match slices growing inside the hash table.
 	rightKeys := right.Cols[rk].Ints
-	index := make(map[int64][]int, len(rightKeys))
+	ids := make(map[int64]int32, len(rightKeys))
+	gid := make([]int32, len(rightKeys))
+	ng := int32(0)
 	for i, k := range rightKeys {
-		index[k] = append(index[k], i)
+		g, ok := ids[k]
+		if !ok {
+			g = ng
+			ids[k] = g
+			ng++
+		}
+		gid[i] = g
+	}
+	start := make([]int32, ng+1)
+	for _, g := range gid {
+		start[g+1]++
+	}
+	for g := int32(0); g < ng; g++ {
+		start[g+1] += start[g]
+	}
+	perm := make([]int32, len(rightKeys))
+	cursor := append([]int32(nil), start[:ng]...)
+	for i, g := range gid {
+		perm[cursor[g]] = int32(i)
+		cursor[g]++
 	}
 
 	leftKeys := left.Cols[lk].Ints
 
 	// Pre-count the output cardinality (sum of match multiplicities, plus
-	// unmatched left rows for LeftJoin) so every column allocates once.
+	// unmatched left rows for LeftJoin) so the gather indices and every
+	// output column allocate exactly once. Each left key is probed exactly
+	// once; the resolved group id (-1 = miss) is cached for the build pass.
+	lg := make([]int32, len(leftKeys))
 	nOut := 0
-	for _, k := range leftKeys {
-		if n := len(index[k]); n > 0 {
-			nOut += n
-		} else if kind == LeftJoin {
-			nOut++
+	for i, k := range leftKeys {
+		if g, ok := ids[k]; ok {
+			lg[i] = g
+			nOut += int(start[g+1] - start[g])
+		} else {
+			lg[i] = -1
+			if kind == LeftJoin {
+				nOut++
+			}
 		}
 	}
-	out.Grow(nOut)
 
-	nl := left.Schema.Len()
-	for i, k := range leftKeys {
-		matches := index[k]
-		if len(matches) == 0 {
+	// Gather-index build: for each output row, its source row on both sides
+	// (-1 right row = zero-filled LeftJoin miss).
+	leftRow := make([]int32, 0, nOut)
+	rightRow := make([]int32, 0, nOut)
+	for i, g := range lg {
+		if g < 0 {
 			if kind == LeftJoin {
-				for c := 0; c < nl; c++ {
-					out.Cols[c].appendFrom(left.Cols[c], i)
-				}
-				for j, rc := range rightOut {
-					appendZero(out.Cols[nl+j], right.Cols[rc].Type)
-				}
+				leftRow = append(leftRow, int32(i))
+				rightRow = append(rightRow, -1)
 			}
 			continue
 		}
-		for _, m := range matches {
-			for c := 0; c < nl; c++ {
-				out.Cols[c].appendFrom(left.Cols[c], i)
-			}
-			for j, rc := range rightOut {
-				out.Cols[nl+j].appendFrom(right.Cols[rc], m)
-			}
+		for _, m := range perm[start[g]:start[g+1]] {
+			leftRow = append(leftRow, int32(i))
+			rightRow = append(rightRow, m)
 		}
 	}
-	return out, nil
-}
 
-func appendZero(c *Column, t ColType) {
-	switch t {
-	case Int64:
-		c.AppendInt(0)
-	case Float64:
-		c.AppendFloat(0)
-	default:
-		c.AppendString("")
-	}
+	// Emit each output column with one typed bulk gather, parallel per column.
+	nl := left.Schema.Len()
+	parallel.ForGrain(ex.Workers, nl+len(rightOut), 1, func(c int) {
+		if c < nl {
+			gatherInto(out.Cols[c], left.Cols[c], leftRow, false)
+		} else {
+			gatherInto(out.Cols[c], right.Cols[rightOut[c-nl]], rightRow, true)
+		}
+	})
+	return out, nil
 }

@@ -1,0 +1,262 @@
+package table
+
+// The pre-vectorization row-at-a-time operators, retained verbatim as test
+// reference implementations (the internal/tree legacy_test.go pattern):
+// equality and property tests assert the vectorized engine matches them cell
+// for cell on arbitrary tables.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// appendFrom appends value at row i of src (same type) onto c.
+func (c *Column) appendFrom(src *Column, i int) {
+	switch c.Type {
+	case Int64:
+		c.Ints = append(c.Ints, src.Ints[i])
+	case Float64:
+		c.Floats = append(c.Floats, src.Floats[i])
+	default:
+		c.Strings = append(c.Strings, src.Strings[i])
+	}
+}
+
+// appendRowFrom appends row i of src (same schema) to t.
+func (t *Table) appendRowFrom(src *Table, i int) {
+	for c := range t.Cols {
+		t.Cols[c].appendFrom(src.Cols[c], i)
+	}
+}
+
+// legacyFloat is the old Column.Float, with the silent NaN for strings.
+func legacyFloat(c *Column, i int) float64 {
+	switch c.Type {
+	case Int64:
+		return float64(c.Ints[i])
+	case Float64:
+		return c.Floats[i]
+	default:
+		return math.NaN()
+	}
+}
+
+// legacyFilter is the old row-at-a-time Table.Filter.
+func legacyFilter(t *Table, keep func(row int) bool) *Table {
+	out := NewTable(t.Schema)
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			out.appendRowFrom(t, i)
+		}
+	}
+	return out
+}
+
+// legacyTake is the old row-at-a-time Table.Take.
+func legacyTake(t *Table, indices []int) *Table {
+	out := NewTable(t.Schema)
+	for _, i := range indices {
+		out.appendRowFrom(t, i)
+	}
+	return out
+}
+
+// legacyGroupBy is the old bucket-map group-by: row indices bucketed into
+// map[int64][]int, keys sorted, then per-group per-value aggregation.
+func legacyGroupBy(t *Table, key string, aggs ...Agg) (*Table, error) {
+	ki := t.Schema.Index(key)
+	if ki < 0 {
+		return nil, fmt.Errorf("table: group-by unknown key %q", key)
+	}
+	if t.Schema.Fields[ki].Type != Int64 {
+		return nil, fmt.Errorf("table: group-by key %q must be BIGINT", key)
+	}
+
+	refs := make([]*Column, len(aggs))
+	fields := []Field{{Name: key, Type: Int64}}
+	for i, a := range aggs {
+		if a.As == "" {
+			return nil, fmt.Errorf("table: aggregation %d has empty output name", i)
+		}
+		outType := Float64
+		if a.Func != Count {
+			ci := t.Schema.Index(a.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("table: aggregation on unknown column %q", a.Col)
+			}
+			c := t.Cols[ci]
+			if a.Func == First && c.Type == String {
+				outType = String
+			} else if a.Func == First && c.Type == Int64 {
+				outType = Int64
+			} else if c.Type == String && a.Func != CountDistinct {
+				return nil, fmt.Errorf("table: %s on string column %q", a.Func, a.Col)
+			}
+			refs[i] = c
+		}
+		fields = append(fields, Field{Name: a.As, Type: outType})
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+
+	keys := t.Cols[ki].Ints
+	groups := make(map[int64][]int)
+	order := make([]int64, 0)
+	for i, k := range keys {
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	out := NewTable(schema)
+	for _, k := range order {
+		rows := groups[k]
+		out.Cols[0].AppendInt(k)
+		for ai, a := range aggs {
+			dst := out.Cols[ai+1]
+			src := refs[ai]
+			switch a.Func {
+			case Count:
+				dst.AppendFloat(float64(len(rows)))
+			case First:
+				dst.appendFrom(src, rows[0])
+			case CountDistinct:
+				dst.AppendFloat(float64(legacyCountDistinct(src, rows)))
+			case Sum:
+				s := 0.0
+				for _, r := range rows {
+					s += legacyFloat(src, r)
+				}
+				dst.AppendFloat(s)
+			case Mean:
+				s := 0.0
+				for _, r := range rows {
+					s += legacyFloat(src, r)
+				}
+				dst.AppendFloat(s / float64(len(rows)))
+			case Min:
+				m := math.Inf(1)
+				for _, r := range rows {
+					if v := legacyFloat(src, r); v < m {
+						m = v
+					}
+				}
+				dst.AppendFloat(m)
+			case Max:
+				m := math.Inf(-1)
+				for _, r := range rows {
+					if v := legacyFloat(src, r); v > m {
+						m = v
+					}
+				}
+				dst.AppendFloat(m)
+			default:
+				return nil, fmt.Errorf("table: unsupported aggregation %v", a.Func)
+			}
+		}
+	}
+	return out, nil
+}
+
+func legacyCountDistinct(c *Column, rows []int) int {
+	switch c.Type {
+	case Int64:
+		seen := make(map[int64]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Ints[r]] = struct{}{}
+		}
+		return len(seen)
+	case Float64:
+		seen := make(map[float64]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Floats[r]] = struct{}{}
+		}
+		return len(seen)
+	default:
+		seen := make(map[string]struct{}, len(rows))
+		for _, r := range rows {
+			seen[c.Strings[r]] = struct{}{}
+		}
+		return len(seen)
+	}
+}
+
+// legacyHashJoin is the old per-cell append join.
+func legacyHashJoin(left, right *Table, key string, kind JoinKind) (*Table, error) {
+	lk := left.Schema.Index(key)
+	rk := right.Schema.Index(key)
+	if lk < 0 || rk < 0 {
+		return nil, fmt.Errorf("table: join key %q missing (left=%v right=%v)", key, lk >= 0, rk >= 0)
+	}
+	if left.Schema.Fields[lk].Type != Int64 || right.Schema.Fields[rk].Type != Int64 {
+		return nil, fmt.Errorf("table: join key %q must be BIGINT on both sides", key)
+	}
+
+	fields := append([]Field(nil), left.Schema.Fields...)
+	rightOut := make([]int, 0, right.Schema.Len()-1)
+	for i, f := range right.Schema.Fields {
+		if i == rk {
+			continue
+		}
+		name := f.Name
+		if left.Schema.Has(name) {
+			name += "_r"
+		}
+		fields = append(fields, Field{Name: name, Type: f.Type})
+		rightOut = append(rightOut, i)
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(schema)
+
+	rightKeys := right.Cols[rk].Ints
+	index := make(map[int64][]int, len(rightKeys))
+	for i, k := range rightKeys {
+		index[k] = append(index[k], i)
+	}
+
+	leftKeys := left.Cols[lk].Ints
+	nl := left.Schema.Len()
+	for i, k := range leftKeys {
+		matches := index[k]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				for c := 0; c < nl; c++ {
+					out.Cols[c].appendFrom(left.Cols[c], i)
+				}
+				for j, rc := range rightOut {
+					legacyAppendZero(out.Cols[nl+j], right.Cols[rc].Type)
+				}
+			}
+			continue
+		}
+		for _, m := range matches {
+			for c := 0; c < nl; c++ {
+				out.Cols[c].appendFrom(left.Cols[c], i)
+			}
+			for j, rc := range rightOut {
+				out.Cols[nl+j].appendFrom(right.Cols[rc], m)
+			}
+		}
+	}
+	return out, nil
+}
+
+func legacyAppendZero(c *Column, t ColType) {
+	switch t {
+	case Int64:
+		c.AppendInt(0)
+	case Float64:
+		c.AppendFloat(0)
+	default:
+		c.AppendString("")
+	}
+}

@@ -2,13 +2,15 @@ package table
 
 import (
 	"fmt"
-	"math"
 	"slices"
 )
 
 // Column is a typed dense column vector. Exactly one of the three slices is
-// non-nil, matching the column's declared type.
+// non-nil, matching the column's declared type. Name is the schema field
+// name the column was created under (diagnostics only; the schema stays the
+// source of truth for lookups).
 type Column struct {
+	Name    string
 	Type    ColType
 	Ints    []int64
 	Floats  []float64
@@ -53,20 +55,10 @@ func (c *Column) Grow(n int) {
 	}
 }
 
-// appendFrom appends value at row i of src (same type) onto c.
-func (c *Column) appendFrom(src *Column, i int) {
-	switch c.Type {
-	case Int64:
-		c.Ints = append(c.Ints, src.Ints[i])
-	case Float64:
-		c.Floats = append(c.Floats, src.Floats[i])
-	default:
-		c.Strings = append(c.Strings, src.Strings[i])
-	}
-}
-
 // Float returns row i of the column coerced to float64 (Int64 columns are
-// converted; String columns return NaN).
+// converted). Calling it on a String column is a programming error — it used
+// to return a silent NaN that poisoned downstream aggregates — so it panics,
+// naming the column.
 func (c *Column) Float(i int) float64 {
 	switch c.Type {
 	case Int64:
@@ -74,7 +66,7 @@ func (c *Column) Float(i int) float64 {
 	case Float64:
 		return c.Floats[i]
 	default:
-		return math.NaN()
+		panic(fmt.Sprintf("table: Float on STRING column %q", c.Name))
 	}
 }
 
@@ -89,7 +81,7 @@ type Table struct {
 func NewTable(s *Schema) *Table {
 	t := &Table{Schema: s, Cols: make([]*Column, s.Len())}
 	for i, f := range s.Fields {
-		t.Cols[i] = NewColumn(f.Type)
+		t.Cols[i] = &Column{Name: f.Name, Type: f.Type}
 	}
 	return t
 }
@@ -169,13 +161,6 @@ func (t *Table) AppendRow(values ...any) error {
 	return nil
 }
 
-// appendRowFrom appends row i of src (same schema) to t.
-func (t *Table) appendRowFrom(src *Table, i int) {
-	for c := range t.Cols {
-		t.Cols[c].appendFrom(src.Cols[c], i)
-	}
-}
-
 // Validate checks that all columns have equal length and types matching the
 // schema.
 func (t *Table) Validate() error {
@@ -230,36 +215,52 @@ func (t *Table) Select(names ...string) (*Table, error) {
 }
 
 // Filter returns a new table containing the rows for which keep returns
-// true. keep receives the row index and reads values through the table's
-// columns.
+// true. keep receives the row index, is evaluated exactly once per row, and
+// reads values through the table's columns. The kept row indices are
+// collected first, then every column is produced by one typed bulk gather
+// into an exactly-sized array.
 func (t *Table) Filter(keep func(row int) bool) *Table {
-	out := NewTable(t.Schema)
 	n := t.NumRows()
+	var idx []int32
 	for i := 0; i < n; i++ {
 		if keep(i) {
-			out.appendRowFrom(t, i)
+			idx = append(idx, int32(i))
 		}
 	}
-	return out
+	return takeRows(t, idx)
 }
 
-// Take returns a new table with the rows at the given indices, in order.
+// Take returns a new table with the rows at the given indices, in order,
+// copying each column with one typed bulk gather.
 func (t *Table) Take(indices []int) *Table {
+	return takeRows(t, indices)
+}
+
+// takeRows gathers the given rows of every column into a fresh table.
+func takeRows[I rowIndex](t *Table, idx []I) *Table {
 	out := NewTable(t.Schema)
-	for _, i := range indices {
-		out.appendRowFrom(t, i)
+	for c, col := range t.Cols {
+		gatherInto(out.Cols[c], col, idx, false)
 	}
 	return out
 }
 
-// AppendTable appends all rows of src, whose schema must equal t's.
+// AppendTable appends all rows of src, whose schema must equal t's, with one
+// typed bulk copy per column.
 func (t *Table) AppendTable(src *Table) error {
 	if !t.Schema.Equal(src.Schema) {
 		return fmt.Errorf("table: append schema mismatch: %s vs %s", t.Schema, src.Schema)
 	}
-	n := src.NumRows()
-	for i := 0; i < n; i++ {
-		t.appendRowFrom(src, i)
+	for c, dst := range t.Cols {
+		s := src.Cols[c]
+		switch dst.Type {
+		case Int64:
+			dst.Ints = append(dst.Ints, s.Ints...)
+		case Float64:
+			dst.Floats = append(dst.Floats, s.Floats...)
+		default:
+			dst.Strings = append(dst.Strings, s.Strings...)
+		}
 	}
 	return nil
 }
@@ -287,7 +288,7 @@ func (t *Table) WithColumn(name string, fn func(row int) float64) (*Table, error
 	if err != nil {
 		return nil, err
 	}
-	col := NewColumn(Float64)
+	col := &Column{Name: name, Type: Float64}
 	n := t.NumRows()
 	col.Floats = make([]float64, n)
 	for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -115,11 +116,23 @@ func TestColumnFloatCoercion(t *testing.T) {
 	if got := c.Float(0); got != 42 {
 		t.Errorf("Float on Int64 = %g", got)
 	}
-	s := NewColumn(String)
-	s.AppendString("x")
-	if got := s.Float(0); got == got { // NaN != NaN
-		t.Errorf("Float on String = %g, want NaN", got)
-	}
+}
+
+// Float on a String column used to return a silent NaN that poisoned every
+// downstream aggregate; misuse must be loud and name the column.
+func TestColumnFloatOnStringPanics(t *testing.T) {
+	tb := NewTable(MustSchema(Field{Name: "text", Type: String}))
+	tb.AppendRow("x")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Float on String column did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, `"text"`) {
+			t.Errorf("panic message %q does not name the column", msg)
+		}
+	}()
+	tb.MustCol("text").Float(0)
 }
 
 func fillCalls(t *testing.T) *Table {
