@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile e2e ci experiments examples clean
 
 all: build vet test
 
@@ -51,12 +51,18 @@ bench-profile:
 	$(GO) test -run='^$$' -bench='BenchmarkRandomForestFit|BenchmarkTreeFit' \
 		-benchtime=5x -benchmem -cpuprofile=cpu.out -memprofile=mem.out .
 
+# Serving smoke test: train a tiny artifact, start churnd, score a batch
+# over HTTP and assert bit-identical parity with `churnctl score`.
+# E2E_PORT ?= listen port (default 18080).
+e2e:
+	sh scripts/e2e.sh
+
 # Everything the CI workflow checks, in the same order.
-ci: build vet fmt-check test-race bench-smoke
+ci: build vet fmt-check test-race bench-smoke e2e
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:
-	$(GO) run ./cmd/churnctl run all -customers 4000 -trees 150 -repeats 2
+	$(GO) run ./cmd/churnctl eval all -customers 4000 -trees 150 -repeats 2
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -67,4 +73,4 @@ examples:
 	$(GO) run ./examples/root_cause
 
 clean:
-	rm -rf warehouse churn-model.bin cpu.out mem.out telcochurn.test
+	rm -rf warehouse churn-model.bin churn-model.tcpa cpu.out mem.out telcochurn.test

@@ -19,13 +19,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Custom b.ReportMetric units (e.g. the serve
+// benchmarks' p50-ns/req) land in Extra keyed by their unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -115,7 +117,7 @@ func run(bench, benchtime, pkg string) (*Report, error) {
 //
 //	BenchmarkTableGroupBy  26955  89036 ns/op  86456 B/op  47 allocs/op
 //
-// Unit-bearing fields beyond the three standard ones are ignored.
+// Unit-bearing fields beyond the three standard ones are collected as Extra.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || fields[3] != "ns/op" {
@@ -128,15 +130,20 @@ func parseLine(line string) (Result, bool) {
 	}
 	r := Result{Name: fields[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			r.BytesPerOp = v
+			r.BytesPerOp = int64(v)
 		case "allocs/op":
-			r.AllocsPerOp = v
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, true

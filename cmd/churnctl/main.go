@@ -4,12 +4,19 @@
 //	    simulate the synthetic telco world and land the raw BSS/OSS tables
 //	    in a partitioned on-disk warehouse (the HDFS layer of Figure 2)
 //
-//	churnctl run <experiment-id> [flags]
+//	churnctl eval <experiment-id> [flags]
 //	    run one of the paper's experiments (fig1 fig5 fig7 fig8 fig9
 //	    tab1 tab2 tab3 tab4 tab5 tab6 tab7) and print the paper-style table
+//	    ("eval all" runs every experiment in order; "run" is a deprecated
+//	    alias)
 //
-//	churnctl run all [flags]
-//	    run every experiment in order
+//	churnctl train -warehouse DIR -out FILE
+//	    fit the full pipeline on the warehouse and save a versioned
+//	    artifact (models + fitted feature state + schema)
+//
+//	churnctl score -warehouse DIR -model FILE
+//	    load an artifact and rank a month's churners; churnd serves the
+//	    same artifact over HTTP
 //
 //	churnctl inspect -warehouse ./warehouse
 //	    list warehouse tables, partitions and row counts
@@ -37,6 +44,8 @@ func main() {
 	switch os.Args[1] {
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "inspect":
@@ -65,12 +74,13 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   churnctl generate -out DIR [-customers N] [-months N] [-seed N]
-  churnctl run EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N] [-cpuprofile F] [-memprofile F]
+  churnctl eval EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N] [-cpuprofile F] [-memprofile F]
   churnctl inspect -warehouse DIR
   churnctl explain [-customers N] [-top N]   root causes of predicted churners
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
-  churnctl train -warehouse DIR -out FILE    fit the churn forest and persist it
-  churnctl score -warehouse DIR -model FILE  ranked churner list from a saved model
+  churnctl train -warehouse DIR -out FILE    fit the pipeline and save a versioned artifact
+  churnctl score -warehouse DIR -model FILE  ranked churner list from a saved artifact
+  churnctl run ...                           deprecated alias for eval
 
 experiments: %v
 `, experiments.IDs())
@@ -157,12 +167,20 @@ func generateDaily(cfg synth.Config, wh *store.Warehouse) error {
 	return nil
 }
 
+// cmdRun is the deprecated alias for eval, kept so existing scripts keep
+// working while the note steers them to the new command split.
 func cmdRun(args []string) error {
+	fmt.Fprintln(os.Stderr, "churnctl: `run` is deprecated — use `churnctl eval` (same behavior);"+
+		" `train` and `score` now work on the versioned pipeline artifact")
+	return cmdEval(args)
+}
+
+func cmdEval(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("run: need an experiment id or 'all'")
+		return fmt.Errorf("eval: need an experiment id or 'all'")
 	}
 	id := args[0]
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	customers := fs.Int("customers", 4000, "customers per month")
 	trees := fs.Int("trees", 150, "forest/boosting ensemble size")
 	repeats := fs.Int("repeats", 2, "sliding-window anchors to average")
@@ -177,11 +195,11 @@ func cmdRun(args []string) error {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			return fmt.Errorf("run: -cpuprofile: %w", err)
+			return fmt.Errorf("eval: -cpuprofile: %w", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("run: -cpuprofile: %w", err)
+			return fmt.Errorf("eval: -cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
 	}

@@ -52,16 +52,16 @@ func TestGenerateDailyMatchesMonthly(t *testing.T) {
 	}
 }
 
-func TestRunCheapExperiment(t *testing.T) {
-	if err := cmdRun([]string{"tab1", "-customers", "500"}); err != nil {
-		t.Fatalf("run tab1: %v", err)
+func TestEvalCheapExperiment(t *testing.T) {
+	if err := cmdEval([]string{"tab1", "-customers", "500"}); err != nil {
+		t.Fatalf("eval tab1: %v", err)
 	}
 }
 
 func TestTrainScoreWorkflow(t *testing.T) {
 	dir := t.TempDir()
 	wh := filepath.Join(dir, "wh")
-	model := filepath.Join(dir, "model.bin")
+	model := filepath.Join(dir, "model.tcpa")
 	if err := cmdGenerate([]string{"-out", wh, "-customers", "800", "-months", "4"}); err != nil {
 		t.Fatalf("generate: %v", err)
 	}
@@ -71,12 +71,15 @@ func TestTrainScoreWorkflow(t *testing.T) {
 	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
 		t.Fatalf("model file missing: %v", err)
 	}
-	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5", "-groups", "F1,F2"}); err != nil {
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5"}); err != nil {
 		t.Fatalf("score: %v", err)
 	}
-	// Group mismatch must be rejected, not silently mis-scored.
-	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-groups", "F1"}); err == nil {
-		t.Error("want error for group/schema mismatch")
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5", "-full"}); err != nil {
+		t.Fatalf("score -full: %v", err)
+	}
+	// A non-artifact file must be rejected, not silently mis-scored.
+	if err := cmdScore([]string{"-warehouse", wh, "-model", filepath.Join(wh, "truth", "month=1.tct")}); err == nil {
+		t.Error("want error loading a non-artifact file")
 	}
 }
 
@@ -85,15 +88,23 @@ func TestParseGroups(t *testing.T) {
 	if err != nil || len(gs) != 2 {
 		t.Fatalf("parseGroups: %v %v", gs, err)
 	}
-	if _, err := parseGroups("F9"); err == nil {
-		t.Error("want error for non-persistable group")
+	// Fitted-feature-model groups persist in the artifact, so every group
+	// is trainable from the CLI.
+	if gs, err := parseGroups("F7,F9"); err != nil || len(gs) != 2 {
+		t.Errorf("parseGroups F7,F9: %v %v", gs, err)
+	}
+	if _, err := parseGroups("F42"); err == nil {
+		t.Error("want error for unknown group")
 	}
 	if gs, _ := parseGroups("default"); len(gs) != 6 {
 		t.Errorf("default groups = %d, want 6", len(gs))
 	}
+	if gs, _ := parseGroups("all"); len(gs) != 9 {
+		t.Errorf("all groups = %d, want 9", len(gs))
+	}
 }
 
-func TestRunUnknownExperiment(t *testing.T) {
+func TestRunAliasForwardsToEval(t *testing.T) {
 	if err := cmdRun([]string{"nope", "-customers", "500"}); err == nil {
 		t.Error("want error for unknown experiment id")
 	}

@@ -3,55 +3,74 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"strconv"
 	"strings"
 
 	"telcochurn/internal/core"
 	"telcochurn/internal/eval"
+	"telcochurn/internal/experiments"
 	"telcochurn/internal/features"
 	"telcochurn/internal/sampling"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
-	"telcochurn/internal/tree"
 )
 
-// persistableGroups are the feature groups a saved model can be scored with:
-// they need no fitted feature models (LDA/FM), only raw tables and truth
-// labels, so a fresh process can rebuild identical frames.
-var persistableGroups = []features.Group{
+// defaultGroups is what -groups=default trains with: the raw-table groups,
+// cheap to build and the historical default. The artifact persists fitted
+// feature models too, so any of F1..F9 (or "all") may be requested.
+var defaultGroups = []features.Group{
 	features.F1Baseline, features.F2CS, features.F3PS,
 	features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph,
 }
 
 func parseGroups(spec string) ([]features.Group, error) {
-	if spec == "" || spec == "default" {
-		return persistableGroups, nil
+	switch spec {
+	case "", "default":
+		return defaultGroups, nil
+	case "all":
+		return features.AllGroups(), nil
 	}
 	byName := map[string]features.Group{}
-	for _, g := range persistableGroups {
+	for _, g := range features.AllGroups() {
 		byName[strings.ToLower(g.String())] = g
 	}
 	var out []features.Group
 	for _, tok := range strings.Split(spec, ",") {
 		g, ok := byName[strings.ToLower(strings.TrimSpace(tok))]
 		if !ok {
-			return nil, fmt.Errorf("unknown or non-persistable group %q (have F1..F6)", tok)
+			return nil, fmt.Errorf("unknown group %q (have F1..F9, default, all)", tok)
 		}
 		out = append(out, g)
 	}
 	return out, nil
 }
 
-// cmdTrain fits the churn forest on a warehouse per Figure 6 and saves it.
+// openSource opens a warehouse and returns it as a pipeline source plus the
+// feature months it holds.
+func openSource(dir string) (*core.WarehouseSource, []int, int, error) {
+	wh, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	monthsAvail, err := wh.Months(synth.TableTruth)
+	if err != nil || len(monthsAvail) == 0 {
+		return nil, nil, 0, fmt.Errorf("empty warehouse %s (run churnctl generate)", dir)
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	return core.NewWarehouseSource(wh, days), monthsAvail, days, nil
+}
+
+// cmdTrain fits the full pipeline on a warehouse per Figure 6 and saves a
+// versioned artifact: config, schema, fitted feature models, classifier.
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
-	out := fs.String("out", "churn-model.bin", "model output path")
+	out := fs.String("out", "churn-model.tcpa", "artifact output path")
 	featureMonth := fs.Int("feature-month", 0, "newest training feature month (0 = auto: last-2)")
 	volume := fs.Int("volume", 1, "training months to accumulate")
 	trees := fs.Int("trees", 300, "forest size")
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per leaf")
-	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F6)")
+	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F9, default, all)")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "parallelism for feature build and training (0 = all cores)")
 	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
@@ -61,16 +80,13 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	wh, err := store.Open(*dir)
+	src, monthsAvail, days, err := openSource(*dir)
 	if err != nil {
 		return err
 	}
-	monthsAvail, err := wh.Months(synth.TableTruth)
-	if err != nil || len(monthsAvail) < 3 {
+	if len(monthsAvail) < 3 {
 		return fmt.Errorf("train: warehouse needs >= 3 months of data (have %v)", monthsAvail)
 	}
-	days := synth.DefaultConfig().DaysPerMonth
-	src := core.NewWarehouseSource(wh, days)
 
 	newest := *featureMonth
 	if newest == 0 {
@@ -81,103 +97,75 @@ func cmdTrain(args []string) error {
 		specs = append(specs, core.MonthSpec(m, days))
 	}
 
-	pipe, err := core.Fit(src, specs, core.Config{
-		Groups:    groups,
-		Forest:    tree.ForestConfig{NumTrees: *trees, MinLeafSamples: *minLeaf, Seed: *seed, MaxBins: *bins},
-		Imbalance: sampling.WeightedInstance,
-		Seed:      *seed,
-		Workers:   *workers,
-	})
+	// The knob-to-config mapping is the experiments package's, so CLI
+	// training and experiment runs agree on every derived setting.
+	cfg := experiments.Options{
+		Trees: *trees, MinLeaf: *minLeaf, Seed: *seed,
+		Workers: *workers, Bins: *bins,
+	}.CoreConfig()
+	cfg.Groups = groups
+	cfg.Imbalance = sampling.WeightedInstance
+
+	pipe, err := core.Fit(src, specs, cfg)
 	if err != nil {
 		return err
 	}
-	rf, ok := pipe.Classifier().(*core.RFClassifier)
-	if !ok {
-		return fmt.Errorf("train: classifier is not a forest")
-	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := pipe.SaveFile(*out); err != nil {
 		return err
 	}
-	defer f.Close()
-	n, err := rf.Forest().WriteTo(f)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trained on feature months %d..%d (%d features, %d trees), wrote %s (%d bytes)\n",
-		newest-*volume+1, newest, len(pipe.FeatureNames()), rf.Forest().NumTrees(), *out, n)
+	fmt.Printf("trained %s on feature months %d..%d (%d features), wrote %s (schema %08x)\n",
+		pipe.Classifier().Name(), newest-*volume+1, newest,
+		len(pipe.FeatureNames()), *out, pipe.SchemaChecksum())
 	return nil
 }
 
-// cmdScore loads a saved model and produces the ranked churner list for a
-// warehouse month — the artifact the retention team receives.
+// cmdScore loads a saved artifact and produces the ranked churner list for
+// a warehouse month — the list the retention team receives. The same
+// artifact served by churnd yields bit-identical scores.
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
 	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
-	model := fs.String("model", "churn-model.bin", "model path")
+	model := fs.String("model", "churn-model.tcpa", "artifact path")
 	month := fs.Int("month", 0, "feature month to score (0 = latest)")
-	top := fs.Int("top", 50, "list length")
-	groupSpec := fs.String("groups", "default", "feature groups the model was trained with")
+	top := fs.Int("top", 50, "list length (0 = every customer)")
+	full := fs.Bool("full", false, "print scores at full precision (exact parity with churnd)")
+	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
 	fs.Parse(args)
 
-	groups, err := parseGroups(*groupSpec)
+	pipe, err := core.LoadFile(*model)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*model)
+	pipe.SetWorkers(*workers)
+	src, monthsAvail, days, err := openSource(*dir)
 	if err != nil {
 		return err
 	}
-	forest, err := tree.ReadForest(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-
-	wh, err := store.Open(*dir)
-	if err != nil {
-		return err
-	}
-	monthsAvail, err := wh.Months(synth.TableTruth)
-	if err != nil || len(monthsAvail) == 0 {
-		return fmt.Errorf("score: empty warehouse")
-	}
-	days := synth.DefaultConfig().DaysPerMonth
-	src := core.NewWarehouseSource(wh, days)
 	m := *month
 	if m == 0 {
 		m = monthsAvail[len(monthsAvail)-1]
 	}
 
-	builder := core.NewFrameBuilder(core.Config{Groups: groups})
-	frame, err := builder.BuildFrame(src, features.MonthWindow(m, days), false, nil)
+	res, err := pipe.Predict(src, features.MonthWindow(m, days))
 	if err != nil {
 		return err
 	}
-	// The frame must line up with the model's training schema.
-	names := frame.Names()
-	want := forest.FeatureNames()
-	if len(names) != len(want) {
-		return fmt.Errorf("score: frame has %d features, model wants %d (check -groups)", len(names), len(want))
-	}
-	for i := range names {
-		if names[i] != want[i] {
-			return fmt.Errorf("score: feature %d is %q, model wants %q", i, names[i], want[i])
-		}
-	}
-
-	var preds []eval.Prediction
-	for _, id := range frame.IDs() {
-		row, _ := frame.Row(id)
-		preds = append(preds, eval.Prediction{ID: id, Score: forest.Score(row)})
+	preds := make([]eval.Prediction, len(res.IDs))
+	for i, id := range res.IDs {
+		preds[i] = eval.Prediction{ID: id, Score: res.Scores[i]}
 	}
 	eval.ByScoreDesc(preds)
-	if *top > len(preds) {
-		*top = len(preds)
+	n := *top
+	if n == 0 || n > len(preds) {
+		n = len(preds)
 	}
 	fmt.Printf("rank,imsi,score\n")
-	for i := 0; i < *top; i++ {
-		fmt.Printf("%d,%d,%.6f\n", i+1, preds[i].ID, preds[i].Score)
+	for i := 0; i < n; i++ {
+		if *full {
+			fmt.Printf("%d,%d,%s\n", i+1, preds[i].ID, strconv.FormatFloat(preds[i].Score, 'g', -1, 64))
+		} else {
+			fmt.Printf("%d,%d,%.6f\n", i+1, preds[i].ID, preds[i].Score)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,226 @@
+// Command churnd serves a trained pipeline artifact over HTTP — the online
+// half of the paper's system, where the monthly batch scorer becomes a
+// long-lived scoring service:
+//
+//	churnctl train -warehouse ./warehouse -out churn-model.tcpa
+//	churnd -artifact churn-model.tcpa -warehouse ./warehouse
+//	curl -d '{"ids":[12,99]}' localhost:8080/v1/score
+//
+// Endpoints:
+//
+//	POST /v1/score   {"id":N} or {"ids":[N,...]} -> churn scores
+//	GET  /healthz    liveness + model identity
+//	GET  /metrics    request/batch/latency/cache counters (JSON)
+//
+// Requests are micro-batched into the vectorized scoring path; scores are
+// bit-identical to `churnctl score` over the same artifact and month.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/serve"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+)
+
+func main() {
+	fs := flag.NewFlagSet("churnd", flag.ExitOnError)
+	artifact := fs.String("artifact", "churn-model.tcpa", "pipeline artifact from churnctl train")
+	warehouse := fs.String("warehouse", "./warehouse", "warehouse directory")
+	month := fs.Int("month", 0, "feature month to serve (0 = latest)")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxBatch := fs.Int("max-batch", 0, "largest micro-batch (0 = default 256)")
+	maxDelay := fs.Duration("max-delay", 0, "micro-batch linger (0 = default 2ms)")
+	queue := fs.Int("queue", 0, "pending-score queue bound (0 = default 4096)")
+	cacheTTL := fs.Duration("cache-ttl", 10*time.Minute, "feature-vector cache TTL (0 disables)")
+	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
+	fs.Parse(os.Args[1:])
+
+	svc, err := buildService(*artifact, *warehouse, *month,
+		serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue},
+		*cacheTTL, *workers)
+	if err != nil {
+		log.Fatal("churnd: ", err)
+	}
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("churnd: serving %s (month %d, %d customers, schema %08x) on %s",
+		svc.model, svc.month, svc.prov.NumRows(), svc.pipe.SchemaChecksum(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal("churnd: ", err)
+	}
+}
+
+// service wires artifact, feature provider, cache and scorer into handlers.
+type service struct {
+	pipe    *core.Pipeline
+	prov    *serve.FrameProvider
+	scorer  *serve.Scorer
+	metrics *serve.Metrics
+	model   string
+	month   int
+}
+
+// buildService loads the artifact and builds the serving frame for one
+// warehouse month. The frame is the batch feature path reused verbatim, so
+// every served vector is the exact row churnctl score would build.
+func buildService(artifact, warehouse string, month int, cfg serve.Config, cacheTTL time.Duration, workers int) (*service, error) {
+	pipe, err := core.LoadFile(artifact)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", artifact, err)
+	}
+	pipe.SetWorkers(workers)
+
+	wh, err := store.Open(warehouse)
+	if err != nil {
+		return nil, err
+	}
+	monthsAvail, err := wh.Months(synth.TableTruth)
+	if err != nil || len(monthsAvail) == 0 {
+		return nil, fmt.Errorf("empty warehouse %s (run churnctl generate)", warehouse)
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	if month == 0 {
+		month = monthsAvail[len(monthsAvail)-1]
+	}
+	src := core.NewWarehouseSource(wh, days)
+
+	prov, err := serve.NewFrameProvider(pipe, src, features.MonthWindow(month, days))
+	if err != nil {
+		return nil, fmt.Errorf("build serving frame for month %d: %w", month, err)
+	}
+	metrics := &serve.Metrics{}
+	return &service{
+		pipe:    pipe,
+		prov:    prov,
+		scorer:  serve.NewScorer(pipe.Classifier(), serve.NewCache(prov, cacheTTL, metrics), cfg, metrics),
+		metrics: metrics,
+		model:   pipe.Classifier().Name(),
+		month:   month,
+	}, nil
+}
+
+// Close stops the scorer's batching loop.
+func (s *service) Close() { s.scorer.Close() }
+
+// Handler returns the HTTP mux for the service.
+func (s *service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// scoreRequest accepts either a single customer or a batch.
+type scoreRequest struct {
+	ID  *int64  `json:"id,omitempty"`
+	IDs []int64 `json:"ids,omitempty"`
+}
+
+type scoreResponse struct {
+	Model  string    `json:"model"`
+	Month  int       `json:"month"`
+	Score  *float64  `json:"score,omitempty"`
+	Scores []float64 `json:"scores,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *service) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	single := req.ID != nil
+	ids := req.IDs
+	if single {
+		if len(ids) > 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{`give "id" or "ids", not both`})
+			return
+		}
+		ids = []int64{*req.ID}
+	} else if len(ids) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{`need "id" or a non-empty "ids"`})
+		return
+	}
+
+	scores, err := s.scorer.Score(r.Context(), ids)
+	if err != nil {
+		writeJSON(w, statusOf(err), errorResponse{err.Error()})
+		return
+	}
+	resp := scoreResponse{Model: s.model, Month: s.month}
+	if single {
+		resp.Score = &scores[0]
+	} else {
+		resp.Scores = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusOf maps scoring failures onto HTTP: shed load reads as 503 (retry
+// later), an unknown customer as 404, a dead deadline as 504.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrUnknownCustomer):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"model":     s.model,
+		"month":     s.month,
+		"customers": s.prov.NumRows(),
+		"features":  len(s.pipe.FeatureNames()),
+		"schema":    fmt.Sprintf("%08x", s.pipe.SchemaChecksum()),
+	})
+}
+
+func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/serve"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// buildTestService generates a warehouse, trains and saves an artifact, and
+// assembles the service exactly like churnd's main does.
+func buildTestService(t *testing.T) (*service, *core.Predictions) {
+	t.Helper()
+	dir := t.TempDir()
+	whDir := filepath.Join(dir, "wh")
+	artifact := filepath.Join(dir, "model.tcpa")
+
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 400
+	cfg.Months = 4
+	cfg.Seed = 5
+	wh, err := store.Open(whDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.GenerateToWarehouse(cfg, wh); err != nil {
+		t.Fatal(err)
+	}
+	src := core.NewWarehouseSource(wh, cfg.DaysPerMonth)
+	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, cfg.DaysPerMonth)}, core.Config{
+		Forest: tree.ForestConfig{NumTrees: 10, MinLeafSamples: 10, Seed: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.SaveFile(artifact); err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.Predict(src, features.MonthWindow(4, cfg.DaysPerMonth))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := buildService(artifact, whDir, 0, serve.Config{}, time.Minute, 0)
+	if err != nil {
+		t.Fatalf("buildService: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, want
+}
+
+func postScore(t *testing.T, ts *httptest.Server, body string) (int, scoreResponse, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var sr scoreResponse
+	json.Unmarshal(buf.Bytes(), &sr)
+	return resp.StatusCode, sr, buf.String()
+}
+
+// TestServedScoresMatchBatchPredict is the serving contract: scores over
+// HTTP are bit-identical to Pipeline.Predict for the same artifact/month.
+func TestServedScoresMatchBatchPredict(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Batch request over every customer.
+	body, _ := json.Marshal(scoreRequest{IDs: want.IDs})
+	status, sr, raw := postScore(t, ts, string(body))
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", status, raw)
+	}
+	if len(sr.Scores) != len(want.IDs) {
+		t.Fatalf("got %d scores, want %d", len(sr.Scores), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if sr.Scores[i] != want.Scores[i] {
+			t.Fatalf("customer %d: served %v, batch %v", want.IDs[i], sr.Scores[i], want.Scores[i])
+		}
+	}
+	if sr.Model != "RF" || sr.Month != 4 {
+		t.Errorf("model/month = %s/%d, want RF/4", sr.Model, sr.Month)
+	}
+
+	// Single-customer form.
+	id := want.IDs[7]
+	status, sr, raw = postScore(t, ts, `{"id":`+int64String(id)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("single status %d: %s", status, raw)
+	}
+	if sr.Score == nil || *sr.Score != want.Scores[7] {
+		t.Fatalf("single score %v, want %v", sr.Score, want.Scores[7])
+	}
+}
+
+func int64String(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestScoreEndpointErrors(t *testing.T) {
+	svc, _ := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	status, _, _ := postScore(t, ts, `{"id":99999999}`)
+	if status != http.StatusNotFound {
+		t.Errorf("unknown customer: status %d, want 404", status)
+	}
+	status, _, _ = postScore(t, ts, `{}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("empty request: status %d, want 400", status)
+	}
+	status, _, _ = postScore(t, ts, `not json`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", status)
+	}
+	status, _, _ = postScore(t, ts, `{"id":1,"ids":[2]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("both id and ids: status %d, want 400", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET score: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" || health["model"] != "RF" {
+		t.Errorf("healthz = %v", health)
+	}
+	if int(health["customers"].(float64)) != len(want.IDs) {
+		t.Errorf("customers = %v, want %d", health["customers"], len(want.IDs))
+	}
+
+	// Score twice so the cache registers a hit, then check the counters.
+	body, _ := json.Marshal(scoreRequest{IDs: want.IDs[:3]})
+	postScore(t, ts, string(body))
+	postScore(t, ts, string(body))
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if metrics["requests"].(float64) != 2 {
+		t.Errorf("requests = %v, want 2", metrics["requests"])
+	}
+	if metrics["scored"].(float64) != 6 {
+		t.Errorf("scored = %v, want 6", metrics["scored"])
+	}
+	if metrics["cache_hits"].(float64) != 3 || metrics["cache_misses"].(float64) != 3 {
+		t.Errorf("cache hits/misses = %v/%v, want 3/3", metrics["cache_hits"], metrics["cache_misses"])
+	}
+	if _, ok := metrics["latency_ns"].(map[string]any); !ok {
+		t.Errorf("latency_ns missing: %v", metrics["latency_ns"])
+	}
+}

@@ -1,0 +1,279 @@
+// Package codec implements the repository's binary persistence framing,
+// shared by every model/artifact format: an ASCII magic outside the
+// checksum, a varint/float64/string body, and a trailing CRC32 (IEEE) over
+// the body. The tree package's forest format (TCRF) defined the layout;
+// codec extracts it so the full pipeline artifact (core), topic models,
+// binarizers and boosted ensembles all frame their bytes identically.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrCorrupt is the sentinel wrapped by every structural, checksum or
+// framing failure on the read side.
+var ErrCorrupt = errors.New("codec: corrupt data")
+
+// Writer frames a binary stream: NewWriter emits the magic (excluded from
+// the checksum), the value methods append the body while feeding the CRC,
+// and Close writes the CRC32 trailer and flushes. Errors are sticky; check
+// the one returned by Close.
+type Writer struct {
+	w   *bufio.Writer
+	crc interface {
+		Write([]byte) (int, error)
+		Sum32() uint32
+	}
+	n   int64
+	err error
+}
+
+// NewWriter starts a framed stream on w by writing magic verbatim.
+func NewWriter(w io.Writer, magic string) *Writer {
+	cw := &Writer{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE()}
+	if _, err := cw.w.WriteString(magic); err != nil {
+		cw.err = err
+	}
+	cw.n += int64(len(magic))
+	return cw
+}
+
+// Write appends raw bytes to the body (and the checksum).
+func (cw *Writer) Write(p []byte) (int, error) {
+	cw.crc.Write(p)
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	if err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return n, err
+}
+
+// Uvarint appends an unsigned varint.
+func (cw *Writer) Uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	cw.Write(buf[:n])
+}
+
+// Int appends a signed value (zig-zag varint).
+func (cw *Writer) Int(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	cw.Write(buf[:n])
+}
+
+// Float appends a float64 as its exact IEEE-754 bits (little endian), so
+// round trips are bit-identical.
+func (cw *Writer) Float(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	cw.Write(buf[:])
+}
+
+// Floats appends a length-prefixed float64 slice.
+func (cw *Writer) Floats(v []float64) {
+	cw.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		cw.Float(x)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (cw *Writer) Str(s string) {
+	cw.Uvarint(uint64(len(s)))
+	cw.Write([]byte(s))
+}
+
+// Strs appends a length-prefixed string slice.
+func (cw *Writer) Strs(s []string) {
+	cw.Uvarint(uint64(len(s)))
+	for _, x := range s {
+		cw.Str(x)
+	}
+}
+
+// Bytes appends a length-prefixed byte block (used to nest independently
+// framed sub-formats, e.g. a whole forest file inside an artifact).
+func (cw *Writer) Bytes(b []byte) {
+	cw.Uvarint(uint64(len(b)))
+	cw.Write(b)
+}
+
+// Close writes the CRC32 trailer, flushes, and returns the total bytes
+// written (magic + body + trailer) and the first error encountered.
+func (cw *Writer) Close() (int64, error) {
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], cw.crc.Sum32())
+	if _, err := cw.w.Write(sum[:]); err != nil && cw.err == nil {
+		cw.err = err
+	}
+	cw.n += 4
+	if err := cw.w.Flush(); err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+// Reader decodes a framed stream produced by Writer. NewReader validates
+// magic and checksum up front; the value methods then never fail mid-way —
+// they record the first error, return zero values after it, and Close
+// reports it along with any trailing garbage.
+type Reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+// NewReader reads all of r, validates the magic prefix and the CRC32
+// trailer, and positions the reader at the start of the body.
+func NewReader(r io.Reader, magic string) (*Reader, error) {
+	data, err := io.ReadAll(bufio.NewReaderSize(r, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	return NewReaderBytes(data, magic)
+}
+
+// NewReaderBytes is NewReader over an in-memory buffer.
+func NewReaderBytes(data []byte, magic string) (*Reader, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic (want %q)", ErrCorrupt, magic)
+	}
+	body := data[len(magic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &Reader{b: body}, nil
+}
+
+// Fail records a decoding error (e.g. an out-of-range value found by the
+// caller) if none is recorded yet.
+func (rd *Reader) Fail(msg string) {
+	if rd.err == nil {
+		rd.err = fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+}
+
+// Err returns the first recorded error, or nil.
+func (rd *Reader) Err() error { return rd.err }
+
+// Uvarint reads an unsigned varint.
+func (rd *Reader) Uvarint() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(rd.b[rd.pos:])
+	if n <= 0 {
+		rd.Fail("bad uvarint")
+		return 0
+	}
+	rd.pos += n
+	return v
+}
+
+// Len reads a uvarint and validates it as a length against the bytes that
+// remain, so corrupt counts fail instead of allocating absurd slices.
+func (rd *Reader) Len() int {
+	v := rd.Uvarint()
+	if rd.err == nil && v > uint64(len(rd.b)-rd.pos) {
+		rd.Fail(fmt.Sprintf("length %d exceeds %d remaining bytes", v, len(rd.b)-rd.pos))
+		return 0
+	}
+	return int(v)
+}
+
+// Int reads a signed (zig-zag) varint.
+func (rd *Reader) Int() int64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(rd.b[rd.pos:])
+	if n <= 0 {
+		rd.Fail("bad varint")
+		return 0
+	}
+	rd.pos += n
+	return v
+}
+
+// Float reads a float64.
+func (rd *Reader) Float() float64 {
+	if rd.err != nil {
+		return 0
+	}
+	if rd.pos+8 > len(rd.b) {
+		rd.Fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(rd.b[rd.pos:]))
+	rd.pos += 8
+	return v
+}
+
+// Floats reads a length-prefixed float64 slice.
+func (rd *Reader) Floats() []float64 {
+	n := rd.Len()
+	if rd.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rd.Float()
+	}
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (rd *Reader) Str() string {
+	n := rd.Len()
+	if rd.err != nil {
+		return ""
+	}
+	s := string(rd.b[rd.pos : rd.pos+n])
+	rd.pos += n
+	return s
+}
+
+// Strs reads a length-prefixed string slice.
+func (rd *Reader) Strs() []string {
+	n := rd.Len()
+	if rd.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = rd.Str()
+	}
+	return out
+}
+
+// Bytes reads a length-prefixed byte block (shared with the underlying
+// buffer).
+func (rd *Reader) Bytes() []byte {
+	n := rd.Len()
+	if rd.err != nil {
+		return nil
+	}
+	b := rd.b[rd.pos : rd.pos+n]
+	rd.pos += n
+	return b
+}
+
+// Close verifies the body was fully consumed and returns the first error.
+func (rd *Reader) Close() error {
+	if rd.err != nil {
+		return rd.err
+	}
+	if rd.pos != len(rd.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rd.b)-rd.pos)
+	}
+	return nil
+}

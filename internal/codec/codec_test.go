@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TEST")
+	w.Uvarint(42)
+	w.Int(-7)
+	w.Float(math.Pi)
+	w.Float(math.Inf(-1))
+	w.Floats([]float64{1.5, -2.25, math.SmallestNonzeroFloat64})
+	w.Str("hello")
+	w.Strs([]string{"a", "", "bc"})
+	w.Bytes([]byte{9, 8, 7})
+	n, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("Close reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	r, err := NewReaderBytes(buf.Bytes(), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Uvarint(); v != 42 {
+		t.Errorf("uvarint = %d", v)
+	}
+	if v := r.Int(); v != -7 {
+		t.Errorf("int = %d", v)
+	}
+	if v := r.Float(); v != math.Pi {
+		t.Errorf("float = %v", v)
+	}
+	if v := r.Float(); !math.IsInf(v, -1) {
+		t.Errorf("inf = %v", v)
+	}
+	fs := r.Floats()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.25 || fs[2] != math.SmallestNonzeroFloat64 {
+		t.Errorf("floats = %v", fs)
+	}
+	if s := r.Str(); s != "hello" {
+		t.Errorf("str = %q", s)
+	}
+	ss := r.Strs()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "bc" {
+		t.Errorf("strs = %v", ss)
+	}
+	bs := r.Bytes()
+	if len(bs) != 3 || bs[0] != 9 {
+		t.Errorf("bytes = %v", bs)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicAndChecksum(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "GOOD")
+	w.Str("payload")
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReaderBytes(buf.Bytes(), "EVIL"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[6] ^= 0xff
+	if _, err := NewReaderBytes(data, "GOOD"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped byte: err = %v", err)
+	}
+	if _, err := NewReaderBytes([]byte("GO"), "GOOD"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: err = %v", err)
+	}
+}
+
+func TestReaderFailures(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "M")
+	w.Uvarint(1 << 40) // absurd length prefix for the Len check
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReaderBytes(buf.Bytes(), "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Str(); s != "" {
+		t.Errorf("str on corrupt length = %q", s)
+	}
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("want ErrCorrupt, got %v", err)
+	}
+
+	// Trailing garbage is rejected by Close.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2, "M")
+	w2.Uvarint(5)
+	w2.Uvarint(6)
+	if _, err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReaderBytes(buf2.Bytes(), "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2.Uvarint()
+	if err := r2.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: err = %v", err)
+	}
+}

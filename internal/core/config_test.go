@@ -13,11 +13,11 @@ import (
 // silently became the WeightedInstance default and Table 7's first row
 // compared a method against itself.
 func TestImbalanceConfigNotSilentlyUpgraded(t *testing.T) {
-	cfg := Config{Imbalance: sampling.NotBalanced}.withDefaults()
+	cfg := Config{Imbalance: sampling.NotBalanced}.WithDefaults()
 	if cfg.Imbalance != sampling.NotBalanced {
 		t.Fatalf("NotBalanced was upgraded to %v", cfg.Imbalance)
 	}
-	cfg = Config{}.withDefaults()
+	cfg = Config{}.WithDefaults()
 	if cfg.Imbalance != sampling.WeightedInstance {
 		t.Fatalf("unset imbalance defaulted to %v, want WeightedInstance", cfg.Imbalance)
 	}

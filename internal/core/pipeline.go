@@ -45,7 +45,13 @@ type Config struct {
 	StableSeedStride int
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every zero field replaced by the
+// paper's default (F1-only groups, Weighted Instance imbalance, K=10
+// topics, 20 second-order pairs, seed stride 10). Fit, NewFrameBuilder and
+// Load all apply it, so callers may leave fields zero — but code that needs
+// to know the effective values (persistence, serving, logging) should call
+// it explicitly rather than re-deriving the defaults.
+func (c Config) WithDefaults() Config {
 	if len(c.Groups) == 0 {
 		c.Groups = []features.Group{features.F1Baseline}
 	}
@@ -98,9 +104,10 @@ func MonthSpec(featureMonth, daysPerMonth int) WindowSpec {
 // for feature groups that need no fitted feature models (F1-F6: base
 // aggregates and graph features). Topic (F7/F8) and second-order (F9)
 // groups require Fit, which trains their LDA/FM models on the first
-// training window.
+// training window. Zero-valued cfg fields mean paper defaults — cfg is
+// passed through Config.WithDefaults.
 func NewFrameBuilder(cfg Config) *Pipeline {
-	return &Pipeline{cfg: cfg.withDefaults()}
+	return &Pipeline{cfg: cfg.WithDefaults()}
 }
 
 // Pipeline is a fitted churn predictor.
@@ -116,9 +123,10 @@ type Pipeline struct {
 // Fit builds training frames for every spec, fits the feature models (LDA on
 // the first window's corpus, FM second-order selection on the first labeled
 // frame), stacks the labeled datasets, applies the imbalance treatment, and
-// trains the classifier.
+// trains the classifier. Zero-valued cfg fields mean paper defaults — cfg
+// is passed through Config.WithDefaults before anything else reads it.
 func Fit(src Source, train []WindowSpec, cfg Config) (*Pipeline, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if len(train) == 0 {
 		return nil, errors.New("core: no training windows")
 	}

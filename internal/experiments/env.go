@@ -68,6 +68,19 @@ func (o Options) forest() tree.ForestConfig {
 	return tree.ForestConfig{NumTrees: o.Trees, MinLeafSamples: o.MinLeaf, Seed: o.Seed + 11, Workers: o.Workers, MaxBins: o.Bins}
 }
 
+// CoreConfig converts the knob surface into a core.Config — the single
+// place the Options-to-pipeline mapping is declared, shared by every
+// experiment runner and by churnctl train. Callers layer run-specific
+// fields (Groups, Imbalance, Classifier, seed shifts) on top.
+func (o Options) CoreConfig() core.Config {
+	o = o.withDefaults()
+	return core.Config{
+		Forest:  o.forest(),
+		Seed:    o.Seed,
+		Workers: o.Workers,
+	}
+}
+
 // scaleU maps a paper top-U cutoff onto this run's population.
 func (o Options) scaleU(paperU int) int { return synth.ScaleU(paperU, o.Customers) }
 

@@ -23,14 +23,11 @@ type runSpec struct {
 // test predictions (for extra cutoffs), the metric report at spec.u, and
 // the fitted pipeline (for importance inspection).
 func (e *Env) run(spec runSpec) ([]eval.Prediction, eval.Report, *core.Pipeline, error) {
-	cfg := core.Config{
-		Groups:     spec.groups,
-		Forest:     e.Opts.forest(),
-		Imbalance:  spec.imbalance,
-		Classifier: spec.classifier,
-		Seed:       e.Opts.Seed + spec.seedShift,
-		Workers:    e.Opts.Workers,
-	}
+	cfg := e.Opts.CoreConfig()
+	cfg.Groups = spec.groups
+	cfg.Imbalance = spec.imbalance
+	cfg.Classifier = spec.classifier
+	cfg.Seed += spec.seedShift
 	p, err := core.Fit(e.Src, spec.train, cfg)
 	if err != nil {
 		return nil, eval.Report{}, nil, err

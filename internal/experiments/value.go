@@ -69,10 +69,9 @@ func Tab6Value(opts Options) (*Tab6Result, error) {
 	env := NewEnv(opts)
 	days := env.Days()
 
-	pipe, err := core.Fit(env.Src, []core.WindowSpec{core.MonthSpec(6, days)}, core.Config{
-		Forest: opts.forest(),
-		Seed:   opts.Seed + 41,
-	})
+	cfg := opts.CoreConfig()
+	cfg.Seed += 41
+	pipe, err := core.Fit(env.Src, []core.WindowSpec{core.MonthSpec(6, days)}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("tab6 churn pipeline: %w", err)
 	}

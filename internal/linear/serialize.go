@@ -1,0 +1,41 @@
+package linear
+
+import (
+	"telcochurn/internal/codec"
+)
+
+// Encode appends the trained weights to an open codec stream.
+func (m *Model) Encode(w *codec.Writer) {
+	w.Float(m.Bias)
+	w.Floats(m.Weights)
+}
+
+// DecodeModel reads a model written by (*Model).Encode.
+func DecodeModel(r *codec.Reader) (*Model, error) {
+	m := &Model{Bias: r.Float(), Weights: r.Floats()}
+	return m, r.Err()
+}
+
+// Encode appends the fitted quantile boundaries and output names to an open
+// codec stream, so a loaded binarizer reproduces TransformRow bit for bit.
+func (b *Binarizer) Encode(w *codec.Writer) {
+	w.Uvarint(uint64(len(b.cuts)))
+	for _, cuts := range b.cuts {
+		w.Floats(cuts)
+	}
+	w.Strs(b.names)
+}
+
+// DecodeBinarizer reads a binarizer written by (*Binarizer).Encode.
+func DecodeBinarizer(r *codec.Reader) (*Binarizer, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	b := &Binarizer{cuts: make([][]float64, n)}
+	for j := range b.cuts {
+		b.cuts[j] = r.Floats()
+	}
+	b.names = r.Strs()
+	return b, r.Err()
+}

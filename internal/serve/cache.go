@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+)
+
+// VectorProvider resolves one customer's feature vector. Returned slices
+// are read-only and must not be mutated by callers.
+type VectorProvider interface {
+	// Vector returns the feature vector for a customer, or false if the
+	// customer is not in the provider's universe.
+	Vector(id int64) ([]float64, bool)
+	// FeatureNames returns the vector schema, aligned with Vector output.
+	FeatureNames() []string
+}
+
+// FrameProvider serves vectors out of a wide-table frame built once from a
+// pipeline over one observation window — the batch feature path reused
+// verbatim, so served vectors are the exact rows Pipeline.Predict scores.
+type FrameProvider struct {
+	frame *features.Frame
+}
+
+// NewFrameProvider builds the window's frame with the pipeline's fitted
+// feature models (no refitting — test-month semantics).
+func NewFrameProvider(p *core.Pipeline, src core.Source, win features.Window) (*FrameProvider, error) {
+	frame, err := p.BuildFrame(src, win, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameProvider{frame: frame}, nil
+}
+
+// Vector implements VectorProvider.
+func (fp *FrameProvider) Vector(id int64) ([]float64, bool) { return fp.frame.Row(id) }
+
+// FeatureNames implements VectorProvider.
+func (fp *FrameProvider) FeatureNames() []string { return fp.frame.Names() }
+
+// IDs returns every scorable customer in the window, in frame row order.
+func (fp *FrameProvider) IDs() []int64 { return fp.frame.IDs() }
+
+// NumRows returns the number of scorable customers.
+func (fp *FrameProvider) NumRows() int { return fp.frame.NumRows() }
+
+// Cache is an in-memory per-customer feature-vector cache with TTL,
+// fronting a VectorProvider. Entries expire CacheTTL after they were
+// fetched, so a provider refreshed behind the cache (e.g. a new warehouse
+// window) is picked up within one TTL. Negative lookups are not cached.
+type Cache struct {
+	base    VectorProvider
+	ttl     time.Duration
+	now     func() time.Time // test hook; time.Now in production
+	metrics *Metrics
+
+	mu      sync.Mutex
+	entries map[int64]cacheEntry
+	sweepAt int // purge expired entries when the map grows past this
+}
+
+type cacheEntry struct {
+	vec     []float64
+	expires time.Time
+}
+
+// NewCache wraps base with a TTL cache. A nil metrics is allowed (counters
+// are skipped); ttl <= 0 disables caching entirely and passes through.
+func NewCache(base VectorProvider, ttl time.Duration, m *Metrics) *Cache {
+	return &Cache{
+		base:    base,
+		ttl:     ttl,
+		now:     time.Now,
+		metrics: m,
+		entries: make(map[int64]cacheEntry),
+		sweepAt: 1024,
+	}
+}
+
+// Vector implements VectorProvider, serving from cache when fresh.
+func (c *Cache) Vector(id int64) ([]float64, bool) {
+	if c.ttl <= 0 {
+		return c.base.Vector(id)
+	}
+	now := c.now()
+	c.mu.Lock()
+	if e, ok := c.entries[id]; ok && now.Before(e.expires) {
+		c.mu.Unlock()
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
+		return e.vec, true
+	}
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.CacheMisses.Add(1)
+	}
+	vec, ok := c.base.Vector(id)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.entries[id] = cacheEntry{vec: vec, expires: now.Add(c.ttl)}
+	if len(c.entries) >= c.sweepAt {
+		for k, e := range c.entries {
+			if !now.Before(e.expires) {
+				delete(c.entries, k)
+			}
+		}
+		c.sweepAt = 2*len(c.entries) + 1024
+	}
+	c.mu.Unlock()
+	return vec, true
+}
+
+// FeatureNames implements VectorProvider.
+func (c *Cache) FeatureNames() []string { return c.base.FeatureNames() }
+
+// Len returns the number of cached entries (fresh or expired-but-unswept).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every cached entry.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[int64]cacheEntry)
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Metrics is the scoring service's instrumentation: lock-free counters and
+// log-scale histograms, snapshotted as a flat JSON-friendly map in the
+// expvar style (stdlib only, scraped via GET /metrics).
+type Metrics struct {
+	// Requests counts Score calls; Scored counts individual customer
+	// scores produced; Batches counts classifier invocations.
+	Requests atomic.Uint64
+	Scored   atomic.Uint64
+	Batches  atomic.Uint64
+	// Errors counts failed Score calls (unknown customer, closed scorer);
+	// QueueFull and Canceled break out the two load-shedding paths.
+	Errors    atomic.Uint64
+	QueueFull atomic.Uint64
+	Canceled  atomic.Uint64
+	// CacheHits/CacheMisses are fed by the vector cache in front of the
+	// feature provider.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// BatchSize observes items per flushed micro-batch; LatencyNs observes
+	// end-to-end per-request latency.
+	BatchSize Histogram
+	LatencyNs Histogram
+}
+
+// Snapshot renders every counter and histogram into one flat map.
+func (m *Metrics) Snapshot() map[string]any {
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return map[string]any{
+		"requests":       m.Requests.Load(),
+		"scored":         m.Scored.Load(),
+		"batches":        m.Batches.Load(),
+		"errors":         m.Errors.Load(),
+		"queue_full":     m.QueueFull.Load(),
+		"canceled":       m.Canceled.Load(),
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+		"cache_hit_rate": hitRate,
+		"batch_size":     m.BatchSize.Snapshot(),
+		"latency_ns":     m.LatencyNs.Snapshot(),
+	}
+}
+
+// Histogram is a lock-free base-2 exponential histogram: observation v
+// lands in bucket floor(log2(v))+1 (bucket 0 holds v==0), so 64 buckets
+// cover the full uint64 range. Good enough to read p50/p90/p99 off a
+// latency or batch-size distribution without any dependency.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1): the
+// geometric midpoint of the bucket holding the q-th observation. Exact for
+// the bucket, approximate within it.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (b - 1)) // bucket b holds [2^(b-1), 2^b)
+			return lo * math.Sqrt2
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// Snapshot renders count/mean/max and the standard serving quantiles.
+func (h *Histogram) Snapshot() map[string]any {
+	count := h.count.Load()
+	mean := 0.0
+	if count > 0 {
+		mean = float64(h.sum.Load()) / float64(count)
+	}
+	return map[string]any{
+		"count": count,
+		"mean":  mean,
+		"max":   h.max.Load(),
+		"p50":   h.Quantile(0.50),
+		"p90":   h.Quantile(0.90),
+		"p99":   h.Quantile(0.99),
+	}
+}

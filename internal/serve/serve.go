@@ -1,0 +1,278 @@
+// Package serve is the online scoring layer over a fitted core.Pipeline:
+// concurrent requests coalesce into micro-batches that feed the vectorized
+// ScoreAll path, behind a bounded queue with per-request cancellation and a
+// TTL feature-vector cache. The paper's system applies the trained model to
+// the full prepaid base monthly (§5-6); this package is the same scorer
+// turned into a long-lived service (cf. Diaz-Aviles et al., "Towards
+// Real-time Customer Experience Prediction for Telecommunication
+// Operators").
+//
+// Determinism: every built-in classifier scores rows independently, so the
+// batch a request happens to land in cannot change its scores — served
+// outputs are bit-identical to batch Pipeline.Predict over the same window.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"telcochurn/internal/core"
+)
+
+var (
+	// ErrQueueFull is returned when the bounded request queue cannot accept
+	// more work — shed load instead of buffering unboundedly.
+	ErrQueueFull = errors.New("serve: scoring queue full")
+	// ErrClosed is returned by Score after Close.
+	ErrClosed = errors.New("serve: scorer closed")
+	// ErrUnknownCustomer is wrapped into Score errors for ids outside the
+	// provider's universe.
+	ErrUnknownCustomer = errors.New("serve: unknown customer")
+)
+
+// Config tunes the micro-batching scorer. Zero values mean defaults.
+type Config struct {
+	// MaxBatch is the largest micro-batch handed to the classifier
+	// (default 256). Larger batches amortize dispatch; smaller bound
+	// worst-case queueing delay.
+	MaxBatch int
+	// MaxDelay is how long the batcher waits for more items after the
+	// first before flushing a partial batch (default 2ms). This is the
+	// latency the slowest request in a quiet period pays for batching.
+	MaxDelay time.Duration
+	// QueueSize bounds the number of pending customer scores (default
+	// 4096). Enqueueing past it fails fast with ErrQueueFull.
+	QueueSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 4096
+	}
+	return c
+}
+
+// Scorer coalesces concurrent score requests into micro-batches.
+type Scorer struct {
+	clf     core.Classifier
+	prov    VectorProvider
+	cfg     Config
+	metrics *Metrics
+
+	mu     sync.RWMutex // guards queue sends against Close
+	closed bool
+	queue  chan *item
+	wg     sync.WaitGroup
+}
+
+// item is one customer score pending in the queue.
+type item struct {
+	vec []float64
+	pos int
+	req *request
+}
+
+// request is the shared state of one Score call's items.
+type request struct {
+	out       []float64
+	remaining int64
+	mu        sync.Mutex
+	canceled  bool
+	done      chan struct{}
+}
+
+// NewScorer starts the batching loop. metrics may be nil (a private one is
+// created); retrieve it with Metrics for the /metrics endpoint.
+func NewScorer(clf core.Classifier, prov VectorProvider, cfg Config, m *Metrics) *Scorer {
+	if m == nil {
+		m = &Metrics{}
+	}
+	s := &Scorer{
+		clf:     clf,
+		prov:    prov,
+		cfg:     cfg.withDefaults(),
+		metrics: m,
+		queue:   make(chan *item, cfg.withDefaults().QueueSize),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Metrics returns the scorer's instrumentation.
+func (s *Scorer) Metrics() *Metrics { return s.metrics }
+
+// Score resolves the customers' feature vectors (through the provider,
+// typically cache-fronted), enqueues them for micro-batched scoring, and
+// waits for the scores or the context. Scores are positionally aligned with
+// ids and bit-identical to the batch Pipeline.Predict output for the same
+// window. A full queue fails fast with ErrQueueFull; an expired context
+// abandons the request (its items are skipped if not yet scored).
+func (s *Scorer) Score(ctx context.Context, ids []int64) ([]float64, error) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if len(ids) > s.cfg.QueueSize {
+		s.metrics.Errors.Add(1)
+		return nil, fmt.Errorf("serve: request of %d customers exceeds queue capacity %d", len(ids), s.cfg.QueueSize)
+	}
+	vecs := make([][]float64, len(ids))
+	for i, id := range ids {
+		vec, ok := s.prov.Vector(id)
+		if !ok {
+			s.metrics.Errors.Add(1)
+			return nil, fmt.Errorf("%w %d", ErrUnknownCustomer, id)
+		}
+		vecs[i] = vec
+	}
+
+	req := &request{out: make([]float64, len(ids)), remaining: int64(len(ids)), done: make(chan struct{})}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.metrics.Errors.Add(1)
+		return nil, ErrClosed
+	}
+	for i := range ids {
+		select {
+		case s.queue <- &item{vec: vecs[i], pos: i, req: req}:
+		default:
+			s.mu.RUnlock()
+			req.cancel()
+			s.metrics.QueueFull.Add(1)
+			s.metrics.Errors.Add(1)
+			return nil, ErrQueueFull
+		}
+	}
+	s.mu.RUnlock()
+
+	select {
+	case <-req.done:
+		s.metrics.LatencyNs.Observe(uint64(time.Since(start)))
+		return req.out, nil
+	case <-ctx.Done():
+		req.cancel()
+		s.metrics.Canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// ScoreOne scores a single customer.
+func (s *Scorer) ScoreOne(ctx context.Context, id int64) (float64, error) {
+	out, err := s.Score(ctx, []int64{id})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Close drains the queue, stops the batching loop and waits for it. Score
+// calls concurrent with Close either complete or return ErrClosed.
+func (s *Scorer) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// loop is the batching goroutine: it blocks for the first item, then
+// collects until MaxBatch or MaxDelay, then flushes — so an idle service
+// adds no latency beyond one queue hop, and a busy one amortizes dispatch
+// over whole batches.
+func (s *Scorer) loop() {
+	defer s.wg.Done()
+	var batch []*item
+	timer := time.NewTimer(s.cfg.MaxDelay)
+	defer timer.Stop()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(s.cfg.MaxDelay)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case it, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, it)
+			case <-timer.C:
+				break collect
+			}
+		}
+		s.flush(batch)
+	}
+}
+
+// flush scores one micro-batch and distributes results. Items whose
+// request was canceled are dropped before scoring (their waiter is gone).
+func (s *Scorer) flush(batch []*item) {
+	live := batch[:0]
+	for _, it := range batch {
+		if !it.req.isCanceled() {
+			live = append(live, it)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	vecs := make([][]float64, len(live))
+	for i, it := range live {
+		vecs[i] = it.vec
+	}
+	scores := s.clf.ScoreAll(vecs)
+	for i, it := range live {
+		it.req.deliver(it.pos, scores[i])
+	}
+	s.metrics.Batches.Add(1)
+	s.metrics.Scored.Add(uint64(len(live)))
+	s.metrics.BatchSize.Observe(uint64(len(live)))
+}
+
+func (r *request) cancel() {
+	r.mu.Lock()
+	r.canceled = true
+	r.mu.Unlock()
+}
+
+func (r *request) isCanceled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.canceled
+}
+
+// deliver stores one positional score; the last delivery completes the
+// request.
+func (r *request) deliver(pos int, score float64) {
+	r.out[pos] = score
+	r.mu.Lock()
+	r.remaining--
+	last := r.remaining == 0
+	r.mu.Unlock()
+	if last {
+		close(r.done)
+	}
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/dataset"
+	"telcochurn/internal/features"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// mapProvider is a deterministic in-memory VectorProvider.
+type mapProvider struct {
+	vecs  map[int64][]float64
+	calls atomic.Int64
+}
+
+func newMapProvider(n int) *mapProvider {
+	p := &mapProvider{vecs: make(map[int64][]float64, n)}
+	for i := 0; i < n; i++ {
+		p.vecs[int64(i)] = []float64{float64(i), float64(i) * 0.5}
+	}
+	return p
+}
+
+func (p *mapProvider) Vector(id int64) ([]float64, bool) {
+	p.calls.Add(1)
+	v, ok := p.vecs[id]
+	return v, ok
+}
+
+func (p *mapProvider) FeatureNames() []string { return []string{"a", "b"} }
+
+// sumClassifier scores each row as a pure per-row function, like every
+// real classifier in the repo.
+type sumClassifier struct {
+	batches atomic.Int64
+	entered chan struct{} // when non-nil, signals each ScoreAll entry
+	gate    chan struct{} // when non-nil, ScoreAll blocks until the gate closes
+}
+
+func (c *sumClassifier) Fit(*dataset.Dataset) error { return nil }
+func (c *sumClassifier) Name() string               { return "sum" }
+func (c *sumClassifier) ScoreAll(x [][]float64) []float64 {
+	if c.entered != nil {
+		c.entered <- struct{}{}
+	}
+	if c.gate != nil {
+		<-c.gate
+	}
+	c.batches.Add(1)
+	out := make([]float64, len(x))
+	for i, row := range x {
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestScorerParityAndBatching(t *testing.T) {
+	prov := newMapProvider(500)
+	clf := &sumClassifier{}
+	s := NewScorer(clf, prov, Config{MaxBatch: 64, MaxDelay: time.Millisecond, QueueSize: 2048}, nil)
+	defer s.Close()
+
+	// Many concurrent requests with overlapping ids.
+	var wg sync.WaitGroup
+	errs := make([]error, 20)
+	for g := 0; g < 20; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]int64, 25)
+			for i := range ids {
+				ids[i] = int64((g*13 + i*7) % 500)
+			}
+			out, err := s.Score(context.Background(), ids)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i, id := range ids {
+				want := float64(id) + float64(id)*0.5
+				if out[i] != want {
+					errs[g] = fmt.Errorf("id %d: got %v want %v", id, out[i], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if got := m.Scored.Load(); got != 20*25 {
+		t.Errorf("scored = %d, want %d", got, 20*25)
+	}
+	// Coalescing must have happened: far fewer classifier calls than items.
+	if b := clf.batches.Load(); b >= 20*25 {
+		t.Errorf("no batching: %d classifier calls for %d items", b, 20*25)
+	}
+	if m.BatchSize.Quantile(1) < 2 {
+		t.Error("max batch size < 2: requests never coalesced")
+	}
+}
+
+func TestScorerUnknownCustomer(t *testing.T) {
+	s := NewScorer(&sumClassifier{}, newMapProvider(3), Config{}, nil)
+	defer s.Close()
+	if _, err := s.Score(context.Background(), []int64{0, 99}); err == nil {
+		t.Fatal("want error for unknown customer")
+	}
+	if got := s.Metrics().Errors.Load(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+}
+
+func TestScorerContextCancel(t *testing.T) {
+	gate := make(chan struct{})
+	clf := &sumClassifier{entered: make(chan struct{}, 8), gate: gate}
+	s := NewScorer(clf, newMapProvider(10), Config{MaxBatch: 1, MaxDelay: time.Microsecond}, nil)
+
+	// First request occupies the classifier at the gate, so the second
+	// cannot be scored before its context is seen as canceled.
+	go s.Score(context.Background(), []int64{0})
+	<-clf.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Score(ctx, []int64{1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := s.Metrics().Canceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	close(gate)
+	s.Close()
+	// The canceled item must have been dropped, not scored.
+	if got := s.Metrics().Scored.Load(); got != 1 {
+		t.Errorf("scored = %d, want 1 (canceled item dropped)", got)
+	}
+}
+
+func TestScorerQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	clf := &sumClassifier{entered: make(chan struct{}, 8), gate: gate}
+	s := NewScorer(clf, newMapProvider(100), Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 1}, nil)
+
+	// First request is pulled by the batcher and parks at the gate.
+	done1 := make(chan error, 1)
+	go func() {
+		_, err := s.Score(context.Background(), []int64{1})
+		done1 <- err
+	}()
+	<-clf.entered
+	// Second request fills the one queue slot.
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := s.Score(context.Background(), []int64{2})
+		done2 <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request must shed immediately.
+	if _, err := s.Score(context.Background(), []int64{3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Requests larger than the queue are rejected up front.
+	if _, err := s.Score(context.Background(), []int64{4, 5}); err == nil || errors.Is(err, ErrQueueFull) {
+		t.Errorf("oversized request err = %v, want a capacity error", err)
+	}
+	close(gate)
+	if err := <-done1; err != nil {
+		t.Errorf("request 1: %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Errorf("request 2: %v", err)
+	}
+	s.Close()
+	if got := s.Metrics().QueueFull.Load(); got != 1 {
+		t.Errorf("queue_full = %d, want 1", got)
+	}
+}
+
+func TestScorerClosed(t *testing.T) {
+	s := NewScorer(&sumClassifier{}, newMapProvider(10), Config{}, nil)
+	out, err := s.Score(context.Background(), []int64{1, 2})
+	if err != nil || len(out) != 2 {
+		t.Fatalf("score before close: %v %v", out, err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Score(context.Background(), []int64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	prov := newMapProvider(10)
+	m := &Metrics{}
+	c := NewCache(prov, time.Minute, m)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	v1, ok := c.Vector(3)
+	if !ok || v1[0] != 3 {
+		t.Fatalf("miss fetch: %v %v", v1, ok)
+	}
+	if _, ok := c.Vector(3); !ok {
+		t.Fatal("hit fetch failed")
+	}
+	if prov.calls.Load() != 1 {
+		t.Errorf("provider calls = %d, want 1 (second read cached)", prov.calls.Load())
+	}
+	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", m.CacheHits.Load(), m.CacheMisses.Load())
+	}
+
+	// Past the TTL the entry is refetched.
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Vector(3); !ok {
+		t.Fatal("post-expiry fetch failed")
+	}
+	if prov.calls.Load() != 2 {
+		t.Errorf("provider calls = %d, want 2 after expiry", prov.calls.Load())
+	}
+
+	// Unknown customers are not cached.
+	if _, ok := c.Vector(404); ok {
+		t.Fatal("unknown customer resolved")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("cache len after purge = %d", c.Len())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.count.Load(); got != 5 {
+		t.Errorf("count = %d", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Errorf("p50 = %v, want within bucket of 3", p50)
+	}
+	if max := h.Quantile(1); max < 512 || max > 1024 {
+		t.Errorf("p100 = %v, want within bucket of 1000", max)
+	}
+	snap := h.Snapshot()
+	if snap["max"].(uint64) != 1000 {
+		t.Errorf("max = %v", snap["max"])
+	}
+}
+
+// TestServeMatchesPipelinePredict is the determinism contract end to end:
+// a real pipeline, served through the cache + micro-batcher in many small
+// concurrent requests, must emit bit-identical scores to one batch
+// Pipeline.Predict call over the same window.
+func TestServeMatchesPipelinePredict(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 300
+	cfg.Months = 4
+	cfg.Seed = 11
+	months := synth.Simulate(cfg)
+	src := core.NewMemorySource(months, cfg.DaysPerMonth)
+	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, cfg.DaysPerMonth)}, core.Config{
+		Forest: tree.ForestConfig{NumTrees: 10, MinLeafSamples: 10, Seed: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := features.MonthWindow(3, cfg.DaysPerMonth)
+	want, err := pipe.Predict(src, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByID := make(map[int64]float64, len(want.IDs))
+	for i, id := range want.IDs {
+		wantByID[id] = want.Scores[i]
+	}
+
+	prov, err := NewFrameProvider(pipe, src, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScorer(pipe.Classifier(), NewCache(prov, time.Minute, nil), Config{MaxBatch: 32, MaxDelay: time.Millisecond}, nil)
+	defer s.Close()
+
+	ids := prov.IDs()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	const chunk = 17
+	for start := 0; start < len(ids); start += chunk {
+		end := start + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		wg.Add(1)
+		go func(part []int64) {
+			defer wg.Done()
+			out, err := s.Score(context.Background(), part)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			for i, id := range part {
+				if out[i] != wantByID[id] {
+					failed.Add(1)
+					return
+				}
+			}
+		}(ids[start:end])
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatal("served scores diverged from batch Pipeline.Predict")
+	}
+}
+
+// BenchmarkServeScore reports serving latency through the full micro-batch
+// path: "single" issues one-customer requests back to back, "batch64"
+// issues 64-customer requests. p50-ns/req is read off the latency
+// histogram at the end of each run.
+func BenchmarkServeScore(b *testing.B) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 400
+	cfg.Months = 4
+	cfg.Seed = 11
+	months := synth.Simulate(cfg)
+	src := core.NewMemorySource(months, cfg.DaysPerMonth)
+	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, cfg.DaysPerMonth)}, core.Config{
+		Forest: tree.ForestConfig{NumTrees: 50, MinLeafSamples: 10, Seed: 1},
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := features.MonthWindow(3, cfg.DaysPerMonth)
+	prov, err := NewFrameProvider(pipe, src, win)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := prov.IDs()
+
+	run := func(b *testing.B, reqSize int) {
+		s := NewScorer(pipe.Classifier(), NewCache(prov, time.Minute, nil),
+			Config{MaxBatch: 256, MaxDelay: 200 * time.Microsecond}, nil)
+		defer s.Close()
+		ctx := context.Background()
+		req := make([]int64, reqSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range req {
+				req[j] = ids[(i*reqSize+j)%len(ids)]
+			}
+			if _, err := s.Score(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(s.Metrics().LatencyNs.Quantile(0.5), "p50-ns/req")
+		b.ReportMetric(float64(reqSize), "req-size")
+	}
+	b.Run("single", func(b *testing.B) { run(b, 1) })
+	b.Run("batch64", func(b *testing.B) { run(b, 64) })
+}

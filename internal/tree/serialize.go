@@ -1,21 +1,24 @@
 package tree
 
 // Binary model persistence: a deployed churn system retrains monthly but
-// scores continuously, so the fitted forest must survive process restarts.
-// The format mirrors the store package's: magic, varint-coded tree
-// structures, float64 leaf distributions, trailing CRC32.
+// scores continuously, so fitted ensembles must survive process restarts.
+// Both formats use the shared codec framing (ASCII magic, varint-coded tree
+// structures, exact float64 bits, trailing CRC32): "TCRF" for random
+// forests, "TCGB" for boosted trees. The core package nests these whole
+// files inside its pipeline artifact.
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
+
+	"telcochurn/internal/codec"
 )
 
-const forestMagic = "TCRF"
+const (
+	forestMagic = "TCRF"
+	gbdtMagic   = "TCGB"
+)
 
 // ErrBadModel is returned when a model file fails structural or checksum
 // validation.
@@ -23,246 +26,195 @@ var ErrBadModel = errors.New("tree: corrupt model data")
 
 // WriteTo serializes the forest. It returns the number of bytes written.
 func (f *Forest) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16), crc: crc32.NewIEEE()}
-	// The magic precedes the checksummed body (the CRC covers everything
-	// between magic and trailer, matching ReadForest).
-	if _, err := cw.w.WriteString(forestMagic); err != nil {
-		return cw.n, err
-	}
-	cw.n += int64(len(forestMagic))
-	cw.uvarint(uint64(f.numClasses))
-	cw.uvarint(uint64(len(f.features)))
-	for _, name := range f.features {
-		cw.str(name)
-	}
-	cw.uvarint(uint64(len(f.importance)))
-	for _, v := range f.importance {
-		cw.float(v)
-	}
-	cw.uvarint(uint64(len(f.trees)))
+	cw := codec.NewWriter(w, forestMagic)
+	cw.Uvarint(uint64(f.numClasses))
+	cw.Strs(f.features)
+	cw.Floats(f.importance)
+	cw.Uvarint(uint64(len(f.trees)))
 	for _, tr := range f.trees {
-		cw.uvarint(uint64(len(tr.importance)))
-		for _, v := range tr.importance {
-			cw.float(v)
-		}
-		if err := writeNode(cw, tr.root, f.numClasses); err != nil {
-			return cw.n, err
+		cw.Floats(tr.importance)
+		if err := writeClassNode(cw, tr.root); err != nil {
+			return 0, err
 		}
 	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], cw.crc.Sum32())
-	if _, err := cw.w.Write(sum[:]); err != nil {
-		return cw.n, err
-	}
-	cw.n += 4
-	return cw.n, cw.w.Flush()
+	return cw.Close()
 }
 
-// writeNode serializes a node pre-order: tag (0 leaf, 1 split), then payload.
-func writeNode(cw *countingWriter, nd *node, numClasses int) error {
+// writeClassNode serializes a classification node pre-order: tag (0 leaf,
+// 1 split), then payload.
+func writeClassNode(cw *codec.Writer, nd *node) error {
 	if nd == nil {
 		return errors.New("tree: nil node during serialization")
 	}
 	if nd.isLeaf() {
-		cw.uvarint(0)
-		cw.uvarint(uint64(nd.n))
+		cw.Uvarint(0)
+		cw.Uvarint(uint64(nd.n))
 		for _, p := range nd.probs {
-			cw.float(p)
+			cw.Float(p)
 		}
-		return cw.err
+		return nil
 	}
-	cw.uvarint(1)
-	cw.uvarint(uint64(nd.feature))
-	cw.float(nd.threshold)
-	cw.uvarint(uint64(nd.n))
+	cw.Uvarint(1)
+	cw.Uvarint(uint64(nd.feature))
+	cw.Float(nd.threshold)
+	cw.Uvarint(uint64(nd.n))
 	// Internal nodes carry their class distribution for attribution.
 	for _, p := range nd.probs {
-		cw.float(p)
+		cw.Float(p)
 	}
-	if err := writeNode(cw, nd.left, numClasses); err != nil {
+	if err := writeClassNode(cw, nd.left); err != nil {
 		return err
 	}
-	return writeNode(cw, nd.right, numClasses)
+	return writeClassNode(cw, nd.right)
 }
 
 // ReadForest deserializes a forest written by WriteTo.
 func ReadForest(r io.Reader) (*Forest, error) {
-	data, err := io.ReadAll(bufio.NewReaderSize(r, 1<<16))
+	rd, err := codec.NewReader(r, forestMagic)
 	if err != nil {
-		return nil, err
+		return nil, badModel(err)
 	}
-	if len(data) < len(forestMagic)+4 || string(data[:len(forestMagic)]) != forestMagic {
-		return nil, ErrBadModel
-	}
-	body := data[len(forestMagic) : len(data)-4]
-	want := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.ChecksumIEEE(body) != want {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadModel)
-	}
-	rd := &byteReader{b: body}
-
 	f := &Forest{}
-	f.numClasses = int(rd.uvarint())
+	f.numClasses = int(rd.Uvarint())
 	if f.numClasses < 2 || f.numClasses > 1<<16 {
 		return nil, fmt.Errorf("%w: class count %d", ErrBadModel, f.numClasses)
 	}
-	nNames := int(rd.uvarint())
-	f.features = make([]string, nNames)
-	for i := range f.features {
-		f.features[i] = rd.str()
-	}
-	nImp := int(rd.uvarint())
-	f.importance = make([]float64, nImp)
-	for i := range f.importance {
-		f.importance[i] = rd.float()
-	}
-	nTrees := int(rd.uvarint())
+	f.features = rd.Strs()
+	f.importance = rd.Floats()
+	nTrees := int(rd.Uvarint())
 	if nTrees > 1<<20 {
 		return nil, fmt.Errorf("%w: tree count %d", ErrBadModel, nTrees)
 	}
 	f.trees = make([]*Tree, nTrees)
 	for t := range f.trees {
-		nti := int(rd.uvarint())
-		tr := &Tree{numClasses: f.numClasses, numFeat: nNames, importance: make([]float64, nti)}
-		for i := range tr.importance {
-			tr.importance[i] = rd.float()
-		}
-		tr.root = readNode(rd, f.numClasses, 0)
+		tr := &Tree{numClasses: f.numClasses, numFeat: len(f.features)}
+		tr.importance = rd.Floats()
+		tr.root = readClassNode(rd, f.numClasses, 0)
 		f.trees[t] = tr
 	}
-	if rd.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadModel, rd.err)
-	}
-	if rd.pos != len(rd.b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadModel, len(rd.b)-rd.pos)
+	if err := rd.Close(); err != nil {
+		return nil, badModel(err)
 	}
 	return f, nil
 }
 
 const maxTreeDepth = 64
 
-func readNode(rd *byteReader, numClasses, depth int) *node {
-	if rd.err != nil || depth > maxTreeDepth {
-		rd.fail("tree too deep or truncated")
+func readClassNode(rd *codec.Reader, numClasses, depth int) *node {
+	if rd.Err() != nil || depth > maxTreeDepth {
+		rd.Fail("tree too deep or truncated")
 		return &node{probs: make([]float64, numClasses)}
 	}
-	tag := rd.uvarint()
+	tag := rd.Uvarint()
 	switch tag {
 	case 0:
-		nd := &node{n: int(rd.uvarint()), probs: make([]float64, numClasses)}
+		nd := &node{n: int(rd.Uvarint()), probs: make([]float64, numClasses)}
 		for i := range nd.probs {
-			nd.probs[i] = rd.float()
+			nd.probs[i] = rd.Float()
 		}
 		return nd
 	case 1:
 		nd := &node{
-			feature:   int(rd.uvarint()),
-			threshold: rd.float(),
-			n:         0,
+			feature:   int(rd.Uvarint()),
+			threshold: rd.Float(),
 			probs:     make([]float64, numClasses),
 		}
-		nd.n = int(rd.uvarint())
+		nd.n = int(rd.Uvarint())
 		for i := range nd.probs {
-			nd.probs[i] = rd.float()
+			nd.probs[i] = rd.Float()
 		}
-		nd.left = readNode(rd, numClasses, depth+1)
-		nd.right = readNode(rd, numClasses, depth+1)
+		nd.left = readClassNode(rd, numClasses, depth+1)
+		nd.right = readClassNode(rd, numClasses, depth+1)
 		return nd
 	default:
-		rd.fail(fmt.Sprintf("bad node tag %d", tag))
+		rd.Fail(fmt.Sprintf("bad node tag %d", tag))
 		return &node{probs: make([]float64, numClasses)}
 	}
 }
 
-// ---- tiny binary helpers ----
-
-type countingWriter struct {
-	w   *bufio.Writer
-	crc interface {
-		Write([]byte) (int, error)
-		Sum32() uint32
+// WriteTo serializes the boosted ensemble: bias, learning rate, then each
+// round's regression tree. It returns the number of bytes written.
+func (g *GBDT) WriteTo(w io.Writer) (int64, error) {
+	cw := codec.NewWriter(w, gbdtMagic)
+	cw.Float(g.bias)
+	cw.Float(g.lr)
+	cw.Uvarint(uint64(len(g.trees)))
+	for _, tr := range g.trees {
+		if err := writeRegNode(cw, tr.root); err != nil {
+			return 0, err
+		}
 	}
-	n   int64
-	err error
+	return cw.Close()
 }
 
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	cw.crc.Write(p)
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	if err != nil && cw.err == nil {
-		cw.err = err
+// writeRegNode serializes a regression node pre-order: tag (0 leaf with its
+// value, 1 split), mirroring writeClassNode without class distributions.
+func writeRegNode(cw *codec.Writer, nd *node) error {
+	if nd == nil {
+		return errors.New("tree: nil node during serialization")
 	}
-	return n, err
+	if nd.isLeaf() {
+		cw.Uvarint(0)
+		cw.Uvarint(uint64(nd.n))
+		cw.Float(nd.value)
+		return nil
+	}
+	cw.Uvarint(1)
+	cw.Uvarint(uint64(nd.feature))
+	cw.Float(nd.threshold)
+	cw.Uvarint(uint64(nd.n))
+	if err := writeRegNode(cw, nd.left); err != nil {
+		return err
+	}
+	return writeRegNode(cw, nd.right)
 }
 
-func (cw *countingWriter) WriteString(s string) (int, error) { return cw.Write([]byte(s)) }
-
-func (cw *countingWriter) uvarint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	cw.Write(buf[:n])
+// ReadGBDT deserializes a boosted ensemble written by (*GBDT).WriteTo.
+func ReadGBDT(r io.Reader) (*GBDT, error) {
+	rd, err := codec.NewReader(r, gbdtMagic)
+	if err != nil {
+		return nil, badModel(err)
+	}
+	g := &GBDT{bias: rd.Float(), lr: rd.Float()}
+	nTrees := int(rd.Uvarint())
+	if nTrees > 1<<20 {
+		return nil, fmt.Errorf("%w: tree count %d", ErrBadModel, nTrees)
+	}
+	g.trees = make([]*RegressionTree, nTrees)
+	for t := range g.trees {
+		g.trees[t] = &RegressionTree{root: readRegNode(rd, 0)}
+	}
+	if err := rd.Close(); err != nil {
+		return nil, badModel(err)
+	}
+	return g, nil
 }
 
-func (cw *countingWriter) float(v float64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	cw.Write(buf[:])
-}
-
-func (cw *countingWriter) str(s string) {
-	cw.uvarint(uint64(len(s)))
-	cw.Write([]byte(s))
-}
-
-type byteReader struct {
-	b   []byte
-	pos int
-	err error
-}
-
-func (rd *byteReader) fail(msg string) {
-	if rd.err == nil {
-		rd.err = errors.New(msg)
+func readRegNode(rd *codec.Reader, depth int) *node {
+	if rd.Err() != nil || depth > maxTreeDepth {
+		rd.Fail("tree too deep or truncated")
+		return &node{}
+	}
+	tag := rd.Uvarint()
+	switch tag {
+	case 0:
+		return &node{n: int(rd.Uvarint()), value: rd.Float()}
+	case 1:
+		nd := &node{feature: int(rd.Uvarint()), threshold: rd.Float()}
+		nd.n = int(rd.Uvarint())
+		nd.left = readRegNode(rd, depth+1)
+		nd.right = readRegNode(rd, depth+1)
+		return nd
+	default:
+		rd.Fail(fmt.Sprintf("bad node tag %d", tag))
+		return &node{}
 	}
 }
 
-func (rd *byteReader) uvarint() uint64 {
-	if rd.err != nil {
-		return 0
+// badModel maps a codec framing error onto the package's sentinel.
+func badModel(err error) error {
+	if errors.Is(err, codec.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrBadModel, err)
 	}
-	v, n := binary.Uvarint(rd.b[rd.pos:])
-	if n <= 0 {
-		rd.fail("bad uvarint")
-		return 0
-	}
-	rd.pos += n
-	return v
-}
-
-func (rd *byteReader) float() float64 {
-	if rd.err != nil {
-		return 0
-	}
-	if rd.pos+8 > len(rd.b) {
-		rd.fail("truncated float")
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(rd.b[rd.pos:]))
-	rd.pos += 8
-	return v
-}
-
-func (rd *byteReader) str() string {
-	n := int(rd.uvarint())
-	if rd.err != nil {
-		return ""
-	}
-	if rd.pos+n > len(rd.b) {
-		rd.fail("truncated string")
-		return ""
-	}
-	s := string(rd.b[rd.pos : rd.pos+n])
-	rd.pos += n
-	return s
+	return err
 }

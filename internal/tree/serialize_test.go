@@ -113,3 +113,62 @@ func TestReadForestRejectsCorruption(t *testing.T) {
 		t.Errorf("bad magic error = %v, want ErrBadModel", err)
 	}
 }
+
+func TestGBDTRoundTrip(t *testing.T) {
+	d := separable(400, 34)
+	g, err := FitGBDT(d, GBDTConfig{NumTrees: 25, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadGBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrees() != g.NumTrees() {
+		t.Fatalf("tree count %d, want %d", got.NumTrees(), g.NumTrees())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.NormFloat64()}
+		if got.Score(x) != g.Score(x) {
+			t.Fatalf("score mismatch at %v", x)
+		}
+	}
+}
+
+func TestReadGBDTRejectsCorruption(t *testing.T) {
+	d := separable(300, 35)
+	g, err := FitGBDT(d, GBDTConfig{NumTrees: 5, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x55
+	if _, err := ReadGBDT(bytes.NewReader(data)); !errors.Is(err, ErrBadModel) {
+		t.Errorf("corrupted model error = %v, want ErrBadModel", err)
+	}
+	// A forest file is not a GBDT file.
+	f, err := FitForest(d, ForestConfig{NumTrees: 3, MinLeafSamples: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf bytes.Buffer
+	if _, err := f.WriteTo(&fbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGBDT(&fbuf); !errors.Is(err, ErrBadModel) {
+		t.Errorf("cross-format error = %v, want ErrBadModel", err)
+	}
+}

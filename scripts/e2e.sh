@@ -1,0 +1,68 @@
+#!/bin/sh
+# End-to-end serving smoke test: train a tiny artifact on synthetic data,
+# start churnd, score one batch over HTTP and assert exact score parity with
+# the batch path (`churnctl score -full`). Run via `make e2e`; CI runs the
+# same script. Needs only the go toolchain and standard POSIX tools.
+set -eu
+
+PORT="${E2E_PORT:-18080}"
+WORK="$(mktemp -d)"
+CHURND_PID=""
+cleanup() {
+    [ -n "$CHURND_PID" ] && kill "$CHURND_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$WORK/churnctl" ./cmd/churnctl
+go build -o "$WORK/churnd" ./cmd/churnd
+
+echo "== generate + train =="
+"$WORK/churnctl" generate -out "$WORK/wh" -customers 500 -months 4
+"$WORK/churnctl" train -warehouse "$WORK/wh" -out "$WORK/model.tcpa" -trees 20
+
+echo "== batch scores (churnctl score) =="
+# rank,imsi,score at full precision; strip the header.
+"$WORK/churnctl" score -warehouse "$WORK/wh" -model "$WORK/model.tcpa" -top 0 -full \
+    | tail -n +2 > "$WORK/batch.csv"
+N="$(wc -l < "$WORK/batch.csv")"
+[ "$N" -gt 0 ] || { echo "e2e: batch score produced no rows"; exit 1; }
+echo "   $N customers scored in batch"
+
+echo "== start churnd on :$PORT =="
+"$WORK/churnd" -artifact "$WORK/model.tcpa" -warehouse "$WORK/wh" -addr "127.0.0.1:$PORT" &
+CHURND_PID=$!
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "e2e: churnd never became healthy"; exit 1; }
+    kill -0 "$CHURND_PID" 2>/dev/null || { echo "e2e: churnd exited early"; exit 1; }
+    sleep 0.2
+done
+curl -sf "http://127.0.0.1:$PORT/healthz"; echo
+
+echo "== served scores (POST /v1/score) =="
+# One batch request over every scored customer, in batch.csv order.
+IDS="$(cut -d, -f2 "$WORK/batch.csv" | paste -sd, -)"
+curl -sf -X POST -d "{\"ids\":[$IDS]}" "http://127.0.0.1:$PORT/v1/score" > "$WORK/served.json"
+
+echo "== parity check =="
+# Pull the scores array back out and compare string-for-string against the
+# batch CSV: Go's JSON float encoding round-trips float64 exactly, and
+# churnctl -full prints the same shortest representation, so bit-identical
+# scores compare equal as text.
+tr -d ' \n' < "$WORK/served.json" \
+    | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p' \
+    | tr ',' '\n' > "$WORK/served.txt"
+printf '\n' >> "$WORK/served.txt" # tr leaves the last line unterminated
+cut -d, -f3 "$WORK/batch.csv" > "$WORK/batch.txt"
+if ! cmp -s "$WORK/batch.txt" "$WORK/served.txt"; then
+    echo "e2e: served scores differ from batch scores"
+    diff "$WORK/batch.txt" "$WORK/served.txt" | head -10
+    exit 1
+fi
+echo "   $N served scores bit-identical to churnctl score"
+
+curl -sf "http://127.0.0.1:$PORT/metrics"; echo
+echo "e2e: OK"
