@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile e2e ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile chaos e2e ci experiments examples clean
 
 all: build vet test
 
@@ -51,14 +51,23 @@ bench-profile:
 	$(GO) test -run='^$$' -bench='BenchmarkRandomForestFit|BenchmarkTreeFit' \
 		-benchtime=5x -benchmem -cpuprofile=cpu.out -memprofile=mem.out .
 
+# Fault-schedule property tests under the race detector: seeded chaos over
+# the storage/source/assembly/serving resilience stack (see DESIGN.md §11).
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Crash|Atomic|Retry|Degraded|Partial|Cache|Reload|Readyz' \
+		./internal/faults/ ./internal/store/ ./internal/features/ \
+		./internal/core/ ./internal/serve/ ./cmd/churnd/
+
 # Serving smoke test: train a tiny artifact, start churnd, score a batch
-# over HTTP and assert bit-identical parity with `churnctl score`.
+# over HTTP, assert bit-identical parity with `churnctl score`, then knock
+# out a raw table and assert degraded-mode serving reports its mask.
 # E2E_PORT ?= listen port (default 18080).
 e2e:
-	sh scripts/e2e.sh
+	bash scripts/e2e.sh
 
 # Everything the CI workflow checks, in the same order.
-ci: build vet fmt-check test-race bench-smoke e2e
+ci: build vet fmt-check test-race chaos bench-smoke e2e
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:

@@ -81,6 +81,18 @@ func TestTrainScoreWorkflow(t *testing.T) {
 	if err := cmdScore([]string{"-warehouse", wh, "-model", filepath.Join(wh, "truth", "month=1.tct")}); err == nil {
 		t.Error("want error loading a non-artifact file")
 	}
+
+	// Degraded mode: with the web feed gone, strict scoring fails but
+	// -degraded still produces the ranked list (F1 imputed, mask on stderr).
+	if err := os.RemoveAll(filepath.Join(wh, "web")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5"}); err == nil {
+		t.Error("strict score survived a missing raw table")
+	}
+	if err := cmdScore([]string{"-warehouse", wh, "-model", model, "-top", "5", "-degraded"}); err != nil {
+		t.Fatalf("score -degraded: %v", err)
+	}
 }
 
 func TestParseGroups(t *testing.T) {

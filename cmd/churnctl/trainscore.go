@@ -3,8 +3,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"telcochurn/internal/core"
 	"telcochurn/internal/eval"
@@ -121,7 +123,9 @@ func cmdTrain(args []string) error {
 
 // cmdScore loads a saved artifact and produces the ranked churner list for
 // a warehouse month — the list the retention team receives. The same
-// artifact served by churnd yields bit-identical scores.
+// artifact served by churnd yields bit-identical scores. Reads retry with
+// backoff; with -degraded, tables that stay unavailable are imputed around
+// and the degradation mask is reported on stderr (the CSV stays on stdout).
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
 	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
@@ -130,6 +134,8 @@ func cmdScore(args []string) error {
 	top := fs.Int("top", 50, "list length (0 = every customer)")
 	full := fs.Bool("full", false, "print scores at full precision (exact parity with churnd)")
 	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
+	degraded := fs.Bool("degraded", false, "score even when raw tables are unavailable (impute their feature groups)")
+	retries := fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)")
 	fs.Parse(args)
 
 	pipe, err := core.LoadFile(*model)
@@ -137,18 +143,39 @@ func cmdScore(args []string) error {
 		return err
 	}
 	pipe.SetWorkers(*workers)
-	src, monthsAvail, days, err := openSource(*dir)
+	wh, err := store.Open(*dir)
 	if err != nil {
 		return err
 	}
+	// Scoring needs no labels, so the customer snapshot — the one table
+	// degraded mode cannot impute — anchors month discovery.
+	monthsAvail, err := wh.Months(synth.TableCustomers)
+	if err != nil || len(monthsAvail) == 0 {
+		return fmt.Errorf("empty warehouse %s (run churnctl generate)", *dir)
+	}
+	days := synth.DefaultConfig().DaysPerMonth
 	m := *month
 	if m == 0 {
 		m = monthsAvail[len(monthsAvail)-1]
 	}
+	src := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
+		MaxAttempts: *retries,
+		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+			fmt.Fprintf(os.Stderr, "score: retrying %s (attempt %d, backoff %v): %v\n", op, attempt, delay, err)
+		},
+	})
 
-	res, err := pipe.Predict(src, features.MonthWindow(m, days))
+	var res *core.Predictions
+	if *degraded {
+		res, err = pipe.PredictDegraded(src, features.MonthWindow(m, days))
+	} else {
+		res, err = pipe.Predict(src, features.MonthWindow(m, days))
+	}
 	if err != nil {
 		return err
+	}
+	if *degraded {
+		fmt.Fprintf(os.Stderr, "degraded groups: %s\n", res.Degraded)
 	}
 	preds := make([]eval.Prediction, len(res.IDs))
 	for i, id := range res.IDs {

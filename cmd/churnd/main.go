@@ -9,11 +9,19 @@
 // Endpoints:
 //
 //	POST /v1/score   {"id":N} or {"ids":[N,...]} -> churn scores
-//	GET  /healthz    liveness + model identity
-//	GET  /metrics    request/batch/latency/cache counters (JSON)
+//	GET  /healthz    liveness + model identity (200 while the process is up)
+//	GET  /readyz     readiness (503 + Retry-After until a frame is servable)
+//	GET  /metrics    request/batch/latency/cache/retry/degradation counters
 //
 // Requests are micro-batched into the vectorized scoring path; scores are
 // bit-identical to `churnctl score` over the same artifact and month.
+//
+// Resilience: source reads retry with seeded-jitter backoff (-retries);
+// with -degraded the serving frame builds even when raw tables are missing
+// (their feature groups are imputed and reported in /healthz, /readyz,
+// /metrics and each score response). SIGHUP hot-reloads the artifact and
+// warehouse window with validate-then-swap semantics: a reload that fails
+// to build leaves the previous engine serving untouched.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,11 +56,20 @@ func main() {
 	queue := fs.Int("queue", 0, "pending-score queue bound (0 = default 4096)")
 	cacheTTL := fs.Duration("cache-ttl", 10*time.Minute, "feature-vector cache TTL (0 disables)")
 	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
+	degraded := fs.Bool("degraded", false, "serve even when raw tables are unavailable (impute their feature groups, report the mask)")
+	retries := fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)")
 	fs.Parse(os.Args[1:])
 
-	svc, err := buildService(*artifact, *warehouse, *month,
-		serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue},
-		*cacheTTL, *workers)
+	svc, err := buildService(serviceOpts{
+		artifact:  *artifact,
+		warehouse: *warehouse,
+		month:     *month,
+		cfg:       serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue},
+		cacheTTL:  *cacheTTL,
+		workers:   *workers,
+		degraded:  *degraded,
+		retries:   *retries,
+	})
 	if err != nil {
 		log.Fatal("churnd: ", err)
 	}
@@ -67,70 +85,161 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("churnd: serving %s (month %d, %d customers, schema %08x) on %s",
-		svc.model, svc.month, svc.prov.NumRows(), svc.pipe.SchemaChecksum(), *addr)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := svc.reload(); err != nil {
+				log.Printf("churnd: reload rejected, previous engine keeps serving: %v", err)
+			} else {
+				e := svc.cur.Load()
+				log.Printf("churnd: reloaded %s (month %d, %d customers, degraded: %s)",
+					*artifact, e.month, e.prov.NumRows(), e.prov.Degradation())
+			}
+		}
+	}()
+
+	e := svc.cur.Load()
+	log.Printf("churnd: serving %s (month %d, %d customers, schema %08x, degraded: %s) on %s",
+		e.model, e.month, e.prov.NumRows(), e.pipe.SchemaChecksum(), e.prov.Degradation(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("churnd: ", err)
 	}
 }
 
-// service wires artifact, feature provider, cache and scorer into handlers.
+// serviceOpts is everything needed to build — and rebuild, on SIGHUP — the
+// serving engine.
+type serviceOpts struct {
+	artifact  string
+	warehouse string
+	month     int // 0 = latest available at (re)build time
+	cfg       serve.Config
+	cacheTTL  time.Duration
+	workers   int
+	degraded  bool
+	retries   int
+}
+
+// engine is the hot-swappable serving unit: one artifact serving one
+// warehouse window. Reloads build a whole new engine and atomically replace
+// the pointer; in-flight requests finish on whichever engine they started.
+type engine struct {
+	pipe   *core.Pipeline
+	prov   *serve.FrameProvider
+	scorer *serve.Scorer
+	model  string
+	month  int
+}
+
+// service wires the current engine, the reload machinery and the metrics
+// (which survive reloads) into HTTP handlers.
 type service struct {
-	pipe    *core.Pipeline
-	prov    *serve.FrameProvider
-	scorer  *serve.Scorer
+	opts    serviceOpts
 	metrics *serve.Metrics
-	model   string
-	month   int
+	cur     atomic.Pointer[engine]
 }
 
 // buildService loads the artifact and builds the serving frame for one
 // warehouse month. The frame is the batch feature path reused verbatim, so
 // every served vector is the exact row churnctl score would build.
-func buildService(artifact, warehouse string, month int, cfg serve.Config, cacheTTL time.Duration, workers int) (*service, error) {
-	pipe, err := core.LoadFile(artifact)
-	if err != nil {
-		return nil, fmt.Errorf("load %s: %w", artifact, err)
-	}
-	pipe.SetWorkers(workers)
-
-	wh, err := store.Open(warehouse)
+func buildService(opts serviceOpts) (*service, error) {
+	s := &service{opts: opts, metrics: &serve.Metrics{}}
+	e, err := s.buildEngine()
 	if err != nil {
 		return nil, err
 	}
-	monthsAvail, err := wh.Months(synth.TableTruth)
+	s.cur.Store(e)
+	return s, nil
+}
+
+// buildEngine assembles a fully validated engine from the current opts:
+// artifact loaded and decoded, warehouse opened, serving frame built. Any
+// failure leaves no side effects, which is what makes reload rollback free.
+func (s *service) buildEngine() (*engine, error) {
+	opts := s.opts
+	pipe, err := core.LoadFile(opts.artifact)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", opts.artifact, err)
+	}
+	pipe.SetWorkers(opts.workers)
+
+	wh, err := store.Open(opts.warehouse)
+	if err != nil {
+		return nil, err
+	}
+	// The customer snapshot anchors month discovery: it is the one table
+	// serving cannot impute around, so its months are the servable months.
+	monthsAvail, err := wh.Months(synth.TableCustomers)
 	if err != nil || len(monthsAvail) == 0 {
-		return nil, fmt.Errorf("empty warehouse %s (run churnctl generate)", warehouse)
+		return nil, fmt.Errorf("empty warehouse %s (run churnctl generate)", opts.warehouse)
 	}
 	days := synth.DefaultConfig().DaysPerMonth
+	month := opts.month
 	if month == 0 {
 		month = monthsAvail[len(monthsAvail)-1]
 	}
-	src := core.NewWarehouseSource(wh, days)
+	rs := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
+		MaxAttempts: opts.retries,
+		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+			s.metrics.Retries.Add(1)
+			log.Printf("churnd: retrying %s (attempt %d, backoff %v): %v", op, attempt, delay, err)
+		},
+	})
+	win := features.MonthWindow(month, days)
 
-	prov, err := serve.NewFrameProvider(pipe, src, features.MonthWindow(month, days))
+	var prov *serve.FrameProvider
+	if opts.degraded {
+		prov, err = serve.NewFrameProviderDegraded(pipe, rs, win)
+	} else {
+		prov, err = serve.NewFrameProvider(pipe, rs, win)
+	}
+	s.metrics.RetriesExhausted.Add(rs.Exhausted())
 	if err != nil {
 		return nil, fmt.Errorf("build serving frame for month %d: %w", month, err)
 	}
-	metrics := &serve.Metrics{}
-	return &service{
-		pipe:    pipe,
-		prov:    prov,
-		scorer:  serve.NewScorer(pipe.Classifier(), serve.NewCache(prov, cacheTTL, metrics), cfg, metrics),
-		metrics: metrics,
-		model:   pipe.Classifier().Name(),
-		month:   month,
+	s.metrics.DegradedMask.Store(uint64(prov.Degradation()))
+	return &engine{
+		pipe:   pipe,
+		prov:   prov,
+		scorer: serve.NewScorer(pipe.Classifier(), serve.NewCache(prov, opts.cacheTTL, s.metrics), opts.cfg, s.metrics),
+		model:  pipe.Classifier().Name(),
+		month:  month,
 	}, nil
 }
 
-// Close stops the scorer's batching loop.
-func (s *service) Close() { s.scorer.Close() }
+// reload builds a fresh engine from the same options (re-reading artifact
+// and warehouse) and swaps it in only if the build fully succeeds; a failed
+// build counts a reload_failure and leaves the old engine serving. The old
+// scorer is closed after the swap: requests already queued on it complete,
+// and any that race the closure shed with 503 + Retry-After like any other
+// transient overload.
+func (s *service) reload() error {
+	e, err := s.buildEngine()
+	if err != nil {
+		s.metrics.ReloadFailures.Add(1)
+		return err
+	}
+	old := s.cur.Swap(e)
+	if old != nil {
+		old.scorer.Close()
+	}
+	s.metrics.Reloads.Add(1)
+	return nil
+}
+
+// Close stops the current engine's batching loop.
+func (s *service) Close() {
+	if e := s.cur.Load(); e != nil {
+		e.scorer.Close()
+	}
+}
 
 // Handler returns the HTTP mux for the service.
 func (s *service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -146,6 +255,9 @@ type scoreResponse struct {
 	Month  int       `json:"month"`
 	Score  *float64  `json:"score,omitempty"`
 	Scores []float64 `json:"scores,omitempty"`
+	// Degraded lists the feature groups imputed in the served window
+	// ("F3,F6"); omitted when the window is healthy.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -175,12 +287,22 @@ func (s *service) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	scores, err := s.scorer.Score(r.Context(), ids)
+	e := s.cur.Load()
+	scores, err := e.scorer.Score(r.Context(), ids)
 	if err != nil {
-		writeJSON(w, statusOf(err), errorResponse{err.Error()})
+		status := statusOf(err)
+		if status == http.StatusServiceUnavailable {
+			// Shed load is transient: full queues drain within a batch
+			// linger, closed scorers mean a reload just swapped engines.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
-	resp := scoreResponse{Model: s.model, Month: s.month}
+	resp := scoreResponse{Model: e.model, Month: e.month}
+	if deg := e.prov.Degradation(); !deg.Empty() {
+		resp.Degraded = deg.String()
+	}
 	if single {
 		resp.Score = &scores[0]
 	} else {
@@ -204,14 +326,38 @@ func statusOf(err error) int {
 	}
 }
 
+// handleHealthz is the liveness probe: 200 whenever the process can answer,
+// regardless of engine state — restarts are for hangs, not for degraded
+// windows or mid-reload gaps.
 func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if e := s.cur.Load(); e != nil {
+		body["model"] = e.model
+		body["month"] = e.month
+		body["customers"] = e.prov.NumRows()
+		body["features"] = len(e.pipe.FeatureNames())
+		body["schema"] = fmt.Sprintf("%08x", e.pipe.SchemaChecksum())
+		body["degraded"] = e.prov.Degradation().String()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the readiness probe: 200 only while an engine is loaded
+// and accepting scores. A degraded window is still ready (it serves, with
+// the mask reported); a closed or absent engine is not.
+func (s *service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	e := s.cur.Load()
+	if e == nil || e.scorer.Closed() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready"})
+		return
+	}
+	deg := e.prov.Degradation()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"model":     s.model,
-		"month":     s.month,
-		"customers": s.prov.NumRows(),
-		"features":  len(s.pipe.FeatureNames()),
-		"schema":    fmt.Sprintf("%08x", s.pipe.SchemaChecksum()),
+		"status":   "ready",
+		"month":    e.month,
+		"degraded": deg.String(),
+		"schema":   fmt.Sprintf("%08x", e.pipe.SchemaChecksum()),
 	})
 }
 

@@ -5,25 +5,25 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"telcochurn/internal/core"
 	"telcochurn/internal/features"
-	"telcochurn/internal/serve"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
 	"telcochurn/internal/tree"
 )
 
-// buildTestService generates a warehouse, trains and saves an artifact, and
-// assembles the service exactly like churnd's main does.
-func buildTestService(t *testing.T) (*service, *core.Predictions) {
+// makeWorld generates a warehouse, trains and saves an artifact, and
+// returns healthy batch predictions for the latest month.
+func makeWorld(t *testing.T) (whDir, artifact string, want *core.Predictions) {
 	t.Helper()
 	dir := t.TempDir()
-	whDir := filepath.Join(dir, "wh")
-	artifact := filepath.Join(dir, "model.tcpa")
+	whDir = filepath.Join(dir, "wh")
+	artifact = filepath.Join(dir, "model.tcpa")
 
 	cfg := synth.DefaultConfig()
 	cfg.Customers = 400
@@ -47,12 +47,22 @@ func buildTestService(t *testing.T) (*service, *core.Predictions) {
 	if err := pipe.SaveFile(artifact); err != nil {
 		t.Fatal(err)
 	}
-	want, err := pipe.Predict(src, features.MonthWindow(4, cfg.DaysPerMonth))
+	want, err = pipe.Predict(src, features.MonthWindow(4, cfg.DaysPerMonth))
 	if err != nil {
 		t.Fatal(err)
 	}
+	return whDir, artifact, want
+}
 
-	svc, err := buildService(artifact, whDir, 0, serve.Config{}, time.Minute, 0)
+// buildTestService assembles the service exactly like churnd's main does.
+func buildTestService(t *testing.T) (*service, *core.Predictions) {
+	t.Helper()
+	whDir, artifact, want := makeWorld(t)
+	svc, err := buildService(serviceOpts{
+		artifact:  artifact,
+		warehouse: whDir,
+		cacheTTL:  time.Minute,
+	})
 	if err != nil {
 		t.Fatalf("buildService: %v", err)
 	}
@@ -188,5 +198,148 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if _, ok := metrics["latency_ns"].(map[string]any); !ok {
 		t.Errorf("latency_ns missing: %v", metrics["latency_ns"])
+	}
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body, resp.Header
+}
+
+// TestReadyzAndRetryAfter: readiness tracks the engine's ability to score,
+// and every 503 carries a Retry-After hint.
+func TestReadyzAndRetryAfter(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	status, body, _ := getJSON(t, ts.URL+"/readyz")
+	if status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz = %d %v, want 200 ready", status, body)
+	}
+	if body["degraded"] != "none" {
+		t.Errorf("healthy readyz degraded = %v, want none", body["degraded"])
+	}
+
+	// A closed scorer (mid-swap window, or shutdown) flips readiness but
+	// not liveness, and sheds scores with Retry-After.
+	svc.Close()
+	status, _, hdr := getJSON(t, ts.URL+"/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close = %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("unready readyz missing Retry-After")
+	}
+	if status, _, _ := getJSON(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz after close = %d, want 200 (liveness is process-level)", status)
+	}
+	body2, _ := json.Marshal(scoreRequest{IDs: want.IDs[:1]})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("score on closed scorer = %d (Retry-After %q), want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestHotReload: a good reload swaps engines without dropping the service;
+// a bad artifact is rejected and the previous engine keeps serving.
+func TestHotReload(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	scoreOK := func(label string) {
+		body, _ := json.Marshal(scoreRequest{IDs: want.IDs[:3]})
+		status, sr, raw := postScore(t, ts, string(body))
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", label, status, raw)
+		}
+		for i := range sr.Scores {
+			if sr.Scores[i] != want.Scores[i] {
+				t.Fatalf("%s: score[%d] = %v, want %v", label, i, sr.Scores[i], want.Scores[i])
+			}
+		}
+	}
+	scoreOK("before reload")
+	if err := svc.reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	scoreOK("after reload")
+
+	// Corrupt the artifact on disk: validate-then-swap must reject it and
+	// keep the old engine.
+	if err := os.WriteFile(svc.opts.artifact, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.reload(); err == nil {
+		t.Fatal("reload of corrupt artifact succeeded")
+	}
+	scoreOK("after rejected reload")
+
+	_, metrics, _ := getJSON(t, ts.URL+"/metrics")
+	if metrics["reloads"].(float64) != 1 || metrics["reload_failures"].(float64) != 1 {
+		t.Errorf("reloads/failures = %v/%v, want 1/1", metrics["reloads"], metrics["reload_failures"])
+	}
+}
+
+// TestDegradedServing: with -degraded, a warehouse missing a raw table
+// still serves, reporting the imputed groups everywhere a caller can look.
+func TestDegradedServing(t *testing.T) {
+	whDir, artifact, want := makeWorld(t)
+	if err := os.RemoveAll(filepath.Join(whDir, synth.TableWeb)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict mode refuses the window.
+	if _, err := buildService(serviceOpts{artifact: artifact, warehouse: whDir, cacheTTL: time.Minute}); err == nil {
+		t.Fatal("strict buildService served a warehouse with a missing table")
+	}
+
+	svc, err := buildService(serviceOpts{artifact: artifact, warehouse: whDir, cacheTTL: time.Minute, degraded: true})
+	if err != nil {
+		t.Fatalf("degraded buildService: %v", err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	status, ready, _ := getJSON(t, ts.URL+"/readyz")
+	if status != http.StatusOK || ready["degraded"] != "F1" {
+		t.Errorf("readyz = %d degraded=%v, want 200 F1", status, ready["degraded"])
+	}
+	body, _ := json.Marshal(scoreRequest{IDs: want.IDs})
+	status, sr, raw := postScore(t, ts, string(body))
+	if status != http.StatusOK {
+		t.Fatalf("degraded score: %d: %s", status, raw)
+	}
+	if sr.Degraded != "F1" {
+		t.Errorf("score response degraded = %q, want F1", sr.Degraded)
+	}
+	if len(sr.Scores) != len(want.IDs) {
+		t.Fatalf("scored %d, want %d", len(sr.Scores), len(want.IDs))
+	}
+	for _, s := range sr.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("degraded score out of range: %v", s)
+		}
+	}
+	_, metrics, _ := getJSON(t, ts.URL+"/metrics")
+	if metrics["degraded_groups"] != "F1" {
+		t.Errorf("metrics degraded_groups = %v, want F1", metrics["degraded_groups"])
+	}
+	if metrics["degraded_mask"].(float64) == 0 {
+		t.Error("metrics degraded_mask = 0, want non-zero")
 	}
 }

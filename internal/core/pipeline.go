@@ -211,14 +211,43 @@ func (p *Pipeline) buildLabeledFrame(src Source, spec WindowSpec, fitModels bool
 // window's churn labels); otherwise the previously fitted models are
 // applied. trainLabels may be nil when fitModels is false.
 func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, trainLabels map[int64]int) (*features.Frame, error) {
+	frame, _, err := p.buildFrame(src, win, fitModels, trainLabels, false)
+	return frame, err
+}
+
+// BuildFrameDegraded assembles the wide table tolerating unavailable raw
+// tables: tables the source cannot produce (after whatever retries it
+// performs) are replaced by empty stand-ins, their columns land at the
+// schema's imputation defaults, and the returned bitmask names the feature
+// groups built from imputed data. The frame's schema is identical to a
+// healthy build — a fitted classifier scores it unchanged — and with
+// nothing missing the result is bit-identical to BuildFrame. Degraded
+// assembly is for scoring only: model fitting on imputed data would bake
+// the outage into the artifact, so training paths keep the strict loader.
+func (p *Pipeline) BuildFrameDegraded(src Source, win features.Window) (*features.Frame, features.Degradation, error) {
+	return p.buildFrame(src, win, false, nil, true)
+}
+
+func (p *Pipeline) buildFrame(src Source, win features.Window, fitModels bool, trainLabels map[int64]int, partial bool) (*features.Frame, features.Degradation, error) {
 	days := src.DaysPerMonth()
-	tbl, err := src.Tables(win)
-	if err != nil {
-		return nil, err
+	var (
+		tbl     features.Tables
+		missing []string
+		deg     features.Degradation
+		err     error
+	)
+	if ps, ok := src.(PartialSource); partial && ok {
+		tbl, missing, err = ps.TablesPartial(win)
+	} else {
+		tbl, err = src.Tables(win)
 	}
+	if err != nil {
+		return nil, 0, err
+	}
+	deg = features.DegradationOf(missing, p.cfg.Groups)
 	base, err := features.BuildBaseFeatures(tbl, win, days, p.cfg.Workers)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Keep only requested base groups, in canonical order.
 	var keep []features.Group
@@ -237,13 +266,26 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 		// time the prediction for the next month is made, so this does not
 		// leak labels.
 		seedMonth := win.SnapshotMonth(days)
+		var in features.GraphFeatureInput
 		prevTruth, err := src.Truth(seedMonth)
-		if err != nil {
-			return nil, fmt.Errorf("core: graph features need truth of month %d: %w", seedMonth, err)
-		}
-		in := features.GraphFeatureInput{
-			PrevChurners: features.ChurnersOf(prevTruth),
-			StableSample: features.StableOf(prevTruth, p.cfg.StableSeedStride),
+		switch {
+		case err == nil:
+			in = features.GraphFeatureInput{
+				PrevChurners: features.ChurnersOf(prevTruth),
+				StableSample: features.StableOf(prevTruth, p.cfg.StableSeedStride),
+			}
+		case partial:
+			// No label-propagation seeds: the graph columns still build (over
+			// whatever tables are present) but every propagated probability
+			// sits at its uninformative prior, so the graph groups are
+			// imputed in all but name — flag them.
+			for _, g := range []features.Group{features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph} {
+				if p.cfg.hasGroup(g) {
+					deg.Add(g)
+				}
+			}
+		default:
+			return nil, 0, fmt.Errorf("core: graph features need truth of month %d: %w", seedMonth, err)
 		}
 		// Graphs are built over the feature window itself — the paper's
 		// "accumulated mutual calling time ... in a fixed period (e.g., a
@@ -261,7 +303,7 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 			}
 			sub := scratch.SelectGroups(g)
 			if err := appendFrame(full, sub, g); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		frame = full
@@ -272,7 +314,7 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 			tfz, err := features.FitTopicFeaturizer(tbl.Complaints, win, days, features.F7ComplaintTopics, "complaint",
 				topic.Config{K: p.cfg.TopicK, Seed: p.cfg.Seed + 3})
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			p.complaints = tfz
 		}
@@ -283,7 +325,7 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 			tfz, err := features.FitTopicFeaturizer(tbl.Search, win, days, features.F8SearchTopics, "search",
 				topic.Config{K: p.cfg.TopicK, Seed: p.cfg.Seed + 5})
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			p.search = tfz
 		}
@@ -293,22 +335,27 @@ func (p *Pipeline) BuildFrame(src Source, win features.Window, fitModels bool, t
 	if p.cfg.hasGroup(features.F9SecondOrder) {
 		if fitModels || p.so == nil {
 			if trainLabels == nil {
-				return nil, errors.New("core: second-order selection needs training labels")
+				return nil, 0, errors.New("core: second-order selection needs training labels")
 			}
 			sel, err := features.FitSecondOrder(frame, trainLabels, features.SecondOrderConfig{
 				NumPairs: p.cfg.SecondOrderPairs,
 				FM:       fm.Config{Seed: p.cfg.Seed + 7},
 			})
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			p.so = sel
 		}
 		if err := p.so.Apply(frame); err != nil {
-			return nil, err
+			return nil, 0, err
+		}
+		// Second-order features are products of base columns, so any
+		// imputed upstream group degrades them too.
+		if !deg.Empty() {
+			deg.Add(features.F9SecondOrder)
 		}
 	}
-	return frame, nil
+	return frame, deg, nil
 }
 
 // appendFrame copies src's columns (all tagged with group g) onto dst.
@@ -329,6 +376,10 @@ func appendFrame(dst, src *features.Frame, g features.Group) error {
 type Predictions struct {
 	IDs    []int64
 	Scores []float64
+	// Degraded names the configured feature groups that were built from
+	// imputed data because their backing tables were unavailable. Always
+	// zero for strict Predict; possibly non-zero for PredictDegraded.
+	Degraded features.Degradation
 }
 
 // Predict scores every customer of the window (Eq. 4's likelihood).
@@ -337,6 +388,22 @@ func (p *Pipeline) Predict(src Source, win features.Window) (*Predictions, error
 	if err != nil {
 		return nil, err
 	}
+	return p.scoreFrame(frame, 0), nil
+}
+
+// PredictDegraded scores the window even when raw tables are unavailable,
+// reporting the degradation mask alongside the scores (zero mask = the run
+// was fully healthy and identical to Predict). Only a missing customer
+// snapshot still fails, with features.ErrUniverseUnavailable.
+func (p *Pipeline) PredictDegraded(src Source, win features.Window) (*Predictions, error) {
+	frame, deg, err := p.BuildFrameDegraded(src, win)
+	if err != nil {
+		return nil, err
+	}
+	return p.scoreFrame(frame, deg), nil
+}
+
+func (p *Pipeline) scoreFrame(frame *features.Frame, deg features.Degradation) *Predictions {
 	ids := frame.IDs()
 	x := make([][]float64, frame.NumRows())
 	parallel.For(p.cfg.Workers, len(ids), func(i int) {
@@ -344,7 +411,7 @@ func (p *Pipeline) Predict(src Source, win features.Window) (*Predictions, error
 		x[i] = row
 	})
 	scores := p.clf.ScoreAll(x)
-	return &Predictions{IDs: append([]int64(nil), frame.IDs()...), Scores: scores}, nil
+	return &Predictions{IDs: append([]int64(nil), ids...), Scores: scores, Degraded: deg}
 }
 
 // Evaluate scores the test window and compares against the label month's

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"testing"
+	"time"
+
+	"telcochurn/internal/features"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// flakyTruth fails Truth a set number of times before succeeding.
+type flakyTruth struct {
+	failures int
+	calls    int
+	err      error
+}
+
+func (s *flakyTruth) Tables(win features.Window) (features.Tables, error) {
+	return features.Tables{}, errors.New("not used")
+}
+
+func (s *flakyTruth) Truth(month int) (*table.Table, error) {
+	s.calls++
+	if s.calls <= s.failures {
+		return nil, s.err
+	}
+	return nil, nil
+}
+
+func (s *flakyTruth) DaysPerMonth() int { return 30 }
+
+func fakeClock(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+func TestRetryRecoversAfterTransients(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		src := &flakyTruth{failures: 2, err: errors.New("transient blip")}
+		rs := NewRetrySource(src, RetryConfig{Seed: seed, Sleep: fakeClock(&delays)})
+		if _, err := rs.Truth(1); err != nil {
+			t.Fatalf("Truth after transients: %v", err)
+		}
+		if src.calls != 3 {
+			t.Errorf("calls = %d, want 3", src.calls)
+		}
+		if rs.Retries() != 2 || rs.Exhausted() != 0 {
+			t.Errorf("retries=%d exhausted=%d, want 2/0", rs.Retries(), rs.Exhausted())
+		}
+		return delays
+	}
+
+	delays := run(11)
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+	// Seeded jitter keeps each step within [0.5, 1.5) of the doubling base.
+	if delays[0] < 25*time.Millisecond || delays[0] >= 75*time.Millisecond {
+		t.Errorf("first backoff %v outside jittered [25ms,75ms)", delays[0])
+	}
+	if delays[1] < 50*time.Millisecond || delays[1] >= 150*time.Millisecond {
+		t.Errorf("second backoff %v outside jittered [50ms,150ms)", delays[1])
+	}
+	// Same seed, same failure pattern: identical schedule.
+	again := run(11)
+	for i := range delays {
+		if delays[i] != again[i] {
+			t.Errorf("seed 11 rerun: delay[%d] = %v vs %v — backoff not deterministic", i, again[i], delays[i])
+		}
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var delays []time.Duration
+	boom := errors.New("hard down")
+	src := &flakyTruth{failures: 100, err: boom}
+	rs := NewRetrySource(src, RetryConfig{MaxAttempts: 3, Sleep: fakeClock(&delays)})
+	if _, err := rs.Truth(1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped inner error", err)
+	}
+	if src.calls != 3 || rs.Retries() != 2 || rs.Exhausted() != 1 {
+		t.Errorf("calls=%d retries=%d exhausted=%d, want 3/2/1", src.calls, rs.Retries(), rs.Exhausted())
+	}
+}
+
+func TestRetryDoesNotRetryDeterministicFailures(t *testing.T) {
+	var delays []time.Duration
+	src := &flakyTruth{failures: 100, err: fmt.Errorf("read: %w", fs.ErrNotExist)}
+	rs := NewRetrySource(src, RetryConfig{Sleep: fakeClock(&delays)})
+	if _, err := rs.Truth(1); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if src.calls != 1 || len(delays) != 0 {
+		t.Errorf("calls=%d sleeps=%d — a missing partition was retried", src.calls, len(delays))
+	}
+}
+
+func TestRetryRespectsWindowBudget(t *testing.T) {
+	var delays []time.Duration
+	src := &flakyTruth{failures: 100, err: errors.New("slow outage")}
+	rs := NewRetrySource(src, RetryConfig{
+		BaseDelay:    time.Hour,
+		MaxDelay:     time.Hour,
+		WindowBudget: time.Millisecond,
+		Sleep:        fakeClock(&delays),
+	})
+	_, err := rs.Truth(1)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want retry-budget exhaustion", err)
+	}
+	if src.calls != 1 || len(delays) != 0 {
+		t.Errorf("calls=%d sleeps=%d — budget did not stop the backoff", src.calls, len(delays))
+	}
+	if rs.Exhausted() != 1 {
+		t.Errorf("exhausted = %d, want 1", rs.Exhausted())
+	}
+}
+
+func TestRetryAbortsOnContextCancel(t *testing.T) {
+	var delays []time.Duration
+	src := &flakyTruth{failures: 100, err: errors.New("outage")}
+	rs := NewRetrySource(src, RetryConfig{Sleep: fakeClock(&delays)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := rs.WithContext(ctx).Truth(1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retries against a dead context)", src.calls)
+	}
+	if rs.Retries() != 1 {
+		// The retry was counted before the aborted sleep; the parent's
+		// counters are shared with the context view.
+		t.Errorf("retries = %d, want 1", rs.Retries())
+	}
+}
+
+// countingReader fails chosen tables a set number of times each.
+type countingReader struct {
+	inner    features.TableReader
+	failLeft map[string]int
+}
+
+func (r *countingReader) ReadMonths(name string, months []int) (*table.Table, error) {
+	if r.failLeft[name] > 0 {
+		r.failLeft[name]--
+		return nil, fmt.Errorf("injected outage on %s", name)
+	}
+	return r.inner.ReadMonths(name, months)
+}
+
+// flakyReaderSource is a warehouse source whose per-table reader flakes.
+type flakyReaderSource struct {
+	*WarehouseSource
+	rd features.TableReader
+}
+
+func (s *flakyReaderSource) TableReader() features.TableReader { return s.rd }
+
+// TestRetrySourcePerTable: with a ReaderSource inner, only the flaky table
+// retries — and a table that stays down past its attempts degrades instead
+// of failing the window.
+func TestRetrySourcePerTable(t *testing.T) {
+	wh, cfg := diskWorld(t)
+	src := NewWarehouseSource(wh, cfg.DaysPerMonth)
+	win := features.MonthWindow(1, cfg.DaysPerMonth)
+
+	var delays []time.Duration
+	flaky := &flakyReaderSource{
+		WarehouseSource: src,
+		rd:              &countingReader{inner: wh, failLeft: map[string]int{synth.TableWeb: 2}},
+	}
+	rs := NewRetrySource(flaky, RetryConfig{Sleep: fakeClock(&delays)})
+	tbl, err := rs.Tables(win)
+	if err != nil {
+		t.Fatalf("Tables with transient web outage: %v", err)
+	}
+	if rs.Retries() != 2 {
+		t.Errorf("retries = %d, want 2 (only web retried)", rs.Retries())
+	}
+	want, err := src.Tables(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Web.NumRows() != want.Web.NumRows() || tbl.Calls.NumRows() != want.Calls.NumRows() {
+		t.Error("retried load differs from healthy load")
+	}
+
+	// A persistent outage exhausts retries, then degrades.
+	flaky.rd = &countingReader{inner: wh, failLeft: map[string]int{synth.TableSearch: 1 << 30}}
+	rs = NewRetrySource(flaky, RetryConfig{MaxAttempts: 2, Sleep: fakeClock(&delays)})
+	tbl, missing, err := rs.TablesPartial(win)
+	if err != nil {
+		t.Fatalf("TablesPartial: %v", err)
+	}
+	if len(missing) != 1 || missing[0] != synth.TableSearch {
+		t.Errorf("missing = %v, want [search]", missing)
+	}
+	if tbl.Search.NumRows() != 0 {
+		t.Error("search stand-in is not empty")
+	}
+	if rs.Exhausted() != 1 {
+		t.Errorf("exhausted = %d, want 1", rs.Exhausted())
+	}
+}

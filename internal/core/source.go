@@ -27,6 +27,26 @@ type Source interface {
 	DaysPerMonth() int
 }
 
+// PartialSource is a Source that can assemble a window even when some raw
+// tables are unavailable, reporting which tables were replaced by empty
+// stand-ins instead of failing the whole window.
+type PartialSource interface {
+	Source
+	// TablesPartial returns the window's tables with unavailable ones
+	// substituted by schema-correct empties, plus the names of the missing
+	// tables. Only a missing customer snapshot is fatal
+	// (features.ErrUniverseUnavailable).
+	TablesPartial(win features.Window) (features.Tables, []string, error)
+}
+
+// ReaderSource is a Source backed by a per-table reader. Wrappers (retry,
+// fault injection) use it to interpose per table instead of per window, so
+// one flaky feed retries alone and degrades alone.
+type ReaderSource interface {
+	Source
+	TableReader() features.TableReader
+}
+
 // MemorySource serves simulator output held in memory.
 type MemorySource struct {
 	months map[int]*synth.MonthData
@@ -68,6 +88,14 @@ func (s *MemorySource) Truth(month int) (*table.Table, error) {
 // DaysPerMonth implements Source.
 func (s *MemorySource) DaysPerMonth() int { return s.days }
 
+// TablesPartial implements PartialSource. Memory months are all-or-nothing
+// (the simulator emits whole months), so there is no per-table degradation:
+// a healthy load reports no missing tables and a missing month fails.
+func (s *MemorySource) TablesPartial(win features.Window) (features.Tables, []string, error) {
+	t, err := s.Tables(win)
+	return t, nil, err
+}
+
 // WarehouseSource serves tables from the on-disk store.
 type WarehouseSource struct {
 	wh   *store.Warehouse
@@ -91,6 +119,14 @@ func (s *WarehouseSource) Truth(month int) (*table.Table, error) {
 
 // DaysPerMonth implements Source.
 func (s *WarehouseSource) DaysPerMonth() int { return s.days }
+
+// TablesPartial implements PartialSource via degraded wide-table loading.
+func (s *WarehouseSource) TablesPartial(win features.Window) (features.Tables, []string, error) {
+	return features.LoadTablesPartial(s.wh, win, s.days)
+}
+
+// TableReader implements ReaderSource.
+func (s *WarehouseSource) TableReader() features.TableReader { return s.wh }
 
 // LabelsOf converts a truth table into a label map: customer -> 0/1 churn
 // per the paper's 15-day recharge rule (already applied by the generator,

@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/tree"
+)
+
+// chaosWorld builds a small warehouse world plus a clean fitted pipeline
+// and its healthy predictions for the scoring window.
+func chaosWorld(t *testing.T) (*store.Warehouse, *core.WarehouseSource, *core.Pipeline, features.Window, *core.Predictions) {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 250
+	cfg.Months = 3
+	cfg.Seed = 9
+	wh, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.GenerateToWarehouse(cfg, wh); err != nil {
+		t.Fatal(err)
+	}
+	src := core.NewWarehouseSource(wh, cfg.DaysPerMonth)
+	p, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(1, cfg.DaysPerMonth)}, core.Config{
+		Groups: []features.Group{features.F1Baseline, features.F3PS, features.F4CallGraph},
+		Forest: tree.ForestConfig{NumTrees: 15, MinLeafSamples: 10, Seed: 2},
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := features.MonthWindow(2, cfg.DaysPerMonth)
+	clean, err := p.Predict(src, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wh, src, p, win, clean
+}
+
+func noSleep(time.Duration) {}
+
+// runSchedule scores the window under one seeded fault schedule, with the
+// production resilience stack (fault source -> retry source -> degraded
+// predict).
+func runSchedule(src *core.WarehouseSource, p *core.Pipeline, win features.Window, seed int64) (*core.Predictions, Counts, error) {
+	inj := New(Config{
+		Seed:      seed,
+		Transient: 0.30,
+		Missing:   0.08,
+		Corrupt:   0.05,
+		Latency:   time.Millisecond,
+		Sleep:     noSleep,
+	})
+	rs := core.NewRetrySource(Wrap(src, inj), core.RetryConfig{Seed: seed, Sleep: noSleep})
+	preds, err := p.PredictDegraded(rs, win)
+	return preds, inj.Counts(), err
+}
+
+// TestChaosScoringTypedOrDegraded is the central chaos property: under any
+// seeded fault schedule, degraded scoring either fails with the one typed
+// fatal error (the customer universe is gone) or returns a full, valid
+// scoring of the window — and a run whose degradation mask is empty is
+// bit-identical to the clean run.
+func TestChaosScoringTypedOrDegraded(t *testing.T) {
+	_, src, p, win, clean := chaosWorld(t)
+
+	degradedRuns, fatalRuns, cleanRuns := 0, 0, 0
+	for seed := int64(1); seed <= 15; seed++ {
+		preds, counts, err := runSchedule(src, p, win, seed)
+		if err != nil {
+			if !errors.Is(err, features.ErrUniverseUnavailable) {
+				t.Fatalf("seed %d: untyped chaos failure: %v", seed, err)
+			}
+			fatalRuns++
+			continue
+		}
+		if len(preds.IDs) != len(clean.IDs) {
+			t.Fatalf("seed %d: scored %d customers, want %d", seed, len(preds.IDs), len(clean.IDs))
+		}
+		for i, s := range preds.Scores {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("seed %d: score[%d] = %v out of range", seed, i, s)
+			}
+			if preds.IDs[i] != clean.IDs[i] {
+				t.Fatalf("seed %d: row %d id %d, want %d", seed, i, preds.IDs[i], clean.IDs[i])
+			}
+		}
+		if preds.Degraded.Empty() {
+			for i := range preds.Scores {
+				if math.Float64bits(preds.Scores[i]) != math.Float64bits(clean.Scores[i]) {
+					t.Fatalf("seed %d: empty mask but score[%d] differs from clean run", seed, i)
+				}
+			}
+			cleanRuns++
+		} else {
+			degradedRuns++
+		}
+		if counts.Transients == 0 && counts.Missing == 0 && counts.Corrupt == 0 && !preds.Degraded.Empty() {
+			t.Fatalf("seed %d: mask %s with no injected faults", seed, preds.Degraded)
+		}
+	}
+	t.Logf("15 schedules: %d degraded, %d clean, %d fatal", degradedRuns, fatalRuns, cleanRuns)
+	if degradedRuns == 0 {
+		t.Error("fault rates produced no degraded runs — chaos property untested")
+	}
+}
+
+// TestChaosScheduleReproducible: the same seed replays the exact same
+// failure timeline — identical mask, scores and fault counts.
+func TestChaosScheduleReproducible(t *testing.T) {
+	_, src, p, win, _ := chaosWorld(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		a, ca, errA := runSchedule(src, p, win, seed)
+		b, cb, errB := runSchedule(src, p, win, seed)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: outcomes diverge: %v vs %v", seed, errA, errB)
+		}
+		if ca != cb {
+			t.Fatalf("seed %d: fault counts diverge: %+v vs %+v", seed, ca, cb)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Degraded != b.Degraded {
+			t.Fatalf("seed %d: masks diverge: %s vs %s", seed, a.Degraded, b.Degraded)
+		}
+		for i := range a.Scores {
+			if math.Float64bits(a.Scores[i]) != math.Float64bits(b.Scores[i]) {
+				t.Fatalf("seed %d: replayed score[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestChaosZeroRateBitIdentical: a zero-rate injector plus the full retry
+// stack changes nothing — scores are bit-identical to the plain pipeline
+// and no fault counter moves.
+func TestChaosZeroRateBitIdentical(t *testing.T) {
+	_, src, p, win, clean := chaosWorld(t)
+	inj := New(Config{Seed: 123})
+	rs := core.NewRetrySource(Wrap(src, inj), core.RetryConfig{Seed: 123, Sleep: noSleep})
+	preds, err := p.PredictDegraded(rs, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preds.Degraded.Empty() {
+		t.Errorf("zero-rate mask = %s, want none", preds.Degraded)
+	}
+	for i := range preds.Scores {
+		if preds.IDs[i] != clean.IDs[i] || math.Float64bits(preds.Scores[i]) != math.Float64bits(clean.Scores[i]) {
+			t.Fatalf("zero-rate run differs from clean run at row %d", i)
+		}
+	}
+	if c := inj.Counts(); c != (Counts{}) {
+		t.Errorf("zero-rate injector fired faults: %+v", c)
+	}
+	if rs.Retries() != 0 {
+		t.Errorf("zero-rate run performed %d retries", rs.Retries())
+	}
+}
+
+// TestChaosCrashStormNeverTearsWarehouse hammers partition writes and day
+// staging through crash-injecting hooks across many seeds, retrying each
+// crashed write like the ETL driver would, and asserts the warehouse is
+// never left with a torn (listed but unreadable) partition.
+func TestChaosCrashStormNeverTearsWarehouse(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 60
+	cfg.Months = 2
+	cfg.Seed = 4
+	months := synth.Simulate(cfg)
+
+	for seed := int64(1); seed <= 8; seed++ {
+		wh, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := New(Config{Seed: seed, CrashWrites: 0.4})
+		wh.SetHook(inj.WarehouseHook())
+
+		write := func(desc string, f func() error) {
+			for attempt := 0; ; attempt++ {
+				err := f()
+				if err == nil {
+					return
+				}
+				var cr *store.Crash
+				if !errors.As(err, &cr) {
+					t.Fatalf("seed %d: %s: non-crash failure: %v", seed, desc, err)
+				}
+				if attempt > 20 {
+					t.Fatalf("seed %d: %s: still crashing after %d attempts", seed, desc, attempt)
+				}
+			}
+		}
+		for _, md := range months {
+			for name, tb := range md.Tables() {
+				name, tb := name, tb
+				m := md.Month
+				write(fmt.Sprintf("write %s m%d", name, m), func() error { return wh.WritePartition(name, m, tb) })
+			}
+		}
+		// Stage a few extra days of calls into a fresh month and compact.
+		stagedMonth := cfg.Months + 1
+		for day := 1; day <= 3; day++ {
+			d := day
+			write(fmt.Sprintf("stage day %d", d), func() error {
+				return wh.StageDay(synth.TableCalls, stagedMonth, d, months[0].Calls)
+			})
+		}
+		wh.SetHook(nil)
+		if err := wh.CompactMonth(synth.TableCalls, stagedMonth); err != nil {
+			t.Fatalf("seed %d: compact after storm: %v", seed, err)
+		}
+
+		// Everything listed must read back whole.
+		for name := range months[0].Tables() {
+			ms, err := wh.Months(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ms) == 0 {
+				t.Fatalf("seed %d: %s has no partitions after storm", seed, name)
+			}
+			for _, m := range ms {
+				if _, err := wh.ReadPartition(name, m); err != nil {
+					t.Errorf("seed %d: torn partition %s month=%d: %v", seed, name, m, err)
+				}
+			}
+		}
+		crashes := inj.Counts().Crashes
+		if crashes == 0 {
+			t.Errorf("seed %d: storm injected no crashes", seed)
+		}
+	}
+}
+
+// TestInjectorDeterministicDecisions: two injectors with the same seed make
+// identical decisions for an identical call sequence; a different seed
+// diverges somewhere.
+func TestInjectorDeterministicDecisions(t *testing.T) {
+	trace := func(seed int64) []string {
+		inj := New(Config{Seed: seed, Transient: 0.4, Missing: 0.1, Corrupt: 0.1, Sleep: noSleep})
+		var out []string
+		for i := 0; i < 40; i++ {
+			err := inj.readFault(fmt.Sprintf("read:t%d", i%5), []int{i % 3})
+			out = append(out, fmt.Sprint(err))
+		}
+		return out
+	}
+	a, b, c := trace(42), trace(42), trace(43)
+	diff43 := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diff43 = true
+		}
+	}
+	if !diff43 {
+		t.Error("seeds 42 and 43 produced identical 40-call schedules")
+	}
+}

@@ -60,11 +60,18 @@ func (w Window) Months(daysPerMonth int) []int {
 }
 
 // LoadTables reads every raw table overlapping the window from the
-// warehouse.
+// warehouse, failing on the first unavailable table. For assembly that
+// survives missing feeds, see LoadTablesPartial.
 func LoadTables(wh *store.Warehouse, win Window, daysPerMonth int) (Tables, error) {
+	return LoadTablesFrom(wh, win, daysPerMonth)
+}
+
+// LoadTablesFrom is LoadTables over any TableReader (a raw warehouse, or a
+// retry/fault-injection wrapper around one).
+func LoadTablesFrom(r TableReader, win Window, daysPerMonth int) (Tables, error) {
 	months := win.Months(daysPerMonth)
 	var t Tables
-	read := func(name string) (*table.Table, error) { return wh.ReadMonths(name, months) }
+	read := func(name string) (*table.Table, error) { return r.ReadMonths(name, months) }
 	var err error
 	if t.Calls, err = read(synth.TableCalls); err != nil {
 		return t, fmt.Errorf("features: load calls: %w", err)

@@ -1,0 +1,177 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// Degraded-mode table loading. The paper's platform treats the BSS feeds
+// (F1) as always available while the OSS/xDR feeds backing F2-F8 can lag or
+// drop (§5.4: CS/PS probes and DPI are separate collection systems). This
+// file lets the wide-table build survive missing raw tables: an unavailable
+// table is replaced by an empty table with its canonical schema, so every
+// configured column still materializes — customers simply take the column's
+// imputation default — and the caller receives a Degradation bitmask naming
+// the feature groups built from imputed data. The customer snapshot is the
+// floor: without it there is no row universe and loading fails with
+// ErrUniverseUnavailable.
+
+// ErrUniverseUnavailable is returned when the customer snapshot table — the
+// row universe of the wide table — cannot be loaded. There is no degraded
+// mode below it: with no customer list there is nothing to score.
+var ErrUniverseUnavailable = errors.New("features: customer universe unavailable")
+
+// TableReader reads one raw table's partitions for the given months,
+// concatenated in month order. *store.Warehouse implements it; retry and
+// fault-injection layers wrap it.
+type TableReader interface {
+	ReadMonths(name string, months []int) (*table.Table, error)
+}
+
+// Degradation is a bitmask of feature groups that were assembled from
+// imputed data because a backing raw table was unavailable. Zero means a
+// fully healthy build. Bit i-1 corresponds to group Fi.
+type Degradation uint16
+
+// Add marks a group degraded.
+func (d *Degradation) Add(g Group) { *d |= 1 << (g - 1) }
+
+// Has reports whether the group was degraded.
+func (d Degradation) Has(g Group) bool { return d&(1<<(g-1)) != 0 }
+
+// Empty reports a fully healthy build.
+func (d Degradation) Empty() bool { return d == 0 }
+
+// Groups returns the degraded groups in canonical order.
+func (d Degradation) Groups() []Group {
+	var out []Group
+	for _, g := range AllGroups() {
+		if d.Has(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// String renders the mask as "none" or a comma-joined group list ("F3,F6").
+func (d Degradation) String() string {
+	if d.Empty() {
+		return "none"
+	}
+	var parts []string
+	for _, g := range d.Groups() {
+		parts = append(parts, g.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// tableGroups maps each raw table to the feature groups it backs. A missing
+// table degrades exactly these groups (intersected with the configured
+// ones). The customer snapshot is absent: it is required, not degradable.
+var tableGroups = map[string][]Group{
+	synth.TableCalls:      {F1Baseline, F2CS, F4CallGraph},
+	synth.TableMessages:   {F1Baseline, F5MessageGraph},
+	synth.TableRecharges:  {F1Baseline},
+	synth.TableBilling:    {F1Baseline},
+	synth.TableComplaints: {F1Baseline, F7ComplaintTopics},
+	synth.TableWeb:        {F1Baseline, F3PS},
+	synth.TableSearch:     {F8SearchTopics},
+	synth.TableLocations:  {F3PS, F6CooccurrenceGraph},
+}
+
+// rawSchemas maps raw table names to their canonical schemas, for
+// synthesizing empty stand-ins when a table is unavailable.
+var rawSchemas = map[string]*table.Schema{
+	synth.TableCalls:      synth.CallsSchema,
+	synth.TableMessages:   synth.MessagesSchema,
+	synth.TableRecharges:  synth.RechargesSchema,
+	synth.TableBilling:    synth.BillingSchema,
+	synth.TableCustomers:  synth.CustomersSchema,
+	synth.TableComplaints: synth.ComplaintsSchema,
+	synth.TableWeb:        synth.WebSchema,
+	synth.TableSearch:     synth.SearchSchema,
+	synth.TableLocations:  synth.LocationsSchema,
+}
+
+// EmptyRawTable returns a zero-row table with the canonical schema of the
+// named raw table — the degraded-mode stand-in for an unavailable feed.
+// Aggregations over it produce no per-customer values, so every column it
+// backs lands at that column's imputation default.
+func EmptyRawTable(name string) (*table.Table, error) {
+	s, ok := rawSchemas[name]
+	if !ok {
+		return nil, fmt.Errorf("features: unknown raw table %q", name)
+	}
+	return table.NewTable(s), nil
+}
+
+// DegradationOf maps missing raw tables onto the feature groups they
+// degrade, restricted to the configured groups (a missing search log does
+// not degrade an F1-only pipeline).
+func DegradationOf(missing []string, configured []Group) Degradation {
+	cfg := make(map[Group]bool, len(configured))
+	for _, g := range configured {
+		cfg[g] = true
+	}
+	var d Degradation
+	for _, name := range missing {
+		for _, g := range tableGroups[name] {
+			if cfg[g] {
+				d.Add(g)
+			}
+		}
+	}
+	return d
+}
+
+// LoadTablesPartial reads every raw table overlapping the window, replacing
+// unavailable tables (after whatever retries the reader performs) with
+// empty schema-correct stand-ins and reporting their names in canonical
+// load order. Only the customer snapshot is required; its failure aborts
+// with ErrUniverseUnavailable. With no tables missing the result is
+// identical to LoadTablesFrom.
+func LoadTablesPartial(r TableReader, win Window, daysPerMonth int) (Tables, []string, error) {
+	months := win.Months(daysPerMonth)
+	var missing []string
+	load := func(name string, dst **table.Table) error {
+		t, err := r.ReadMonths(name, months)
+		if err == nil {
+			*dst = t
+			return nil
+		}
+		if name == synth.TableCustomers {
+			return fmt.Errorf("%w: %v", ErrUniverseUnavailable, err)
+		}
+		empty, eerr := EmptyRawTable(name)
+		if eerr != nil {
+			return eerr
+		}
+		*dst = empty
+		missing = append(missing, name)
+		return nil
+	}
+	var t Tables
+	for _, p := range []struct {
+		name string
+		dst  **table.Table
+	}{
+		{synth.TableCalls, &t.Calls},
+		{synth.TableMessages, &t.Messages},
+		{synth.TableRecharges, &t.Recharges},
+		{synth.TableBilling, &t.Billing},
+		{synth.TableCustomers, &t.Customers},
+		{synth.TableComplaints, &t.Complaints},
+		{synth.TableWeb, &t.Web},
+		{synth.TableSearch, &t.Search},
+		{synth.TableLocations, &t.Locations},
+	} {
+		if err := load(p.name, p.dst); err != nil {
+			return t, missing, err
+		}
+	}
+	return t, missing, nil
+}

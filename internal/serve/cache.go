@@ -23,6 +23,7 @@ type VectorProvider interface {
 // verbatim, so served vectors are the exact rows Pipeline.Predict scores.
 type FrameProvider struct {
 	frame *features.Frame
+	deg   features.Degradation
 }
 
 // NewFrameProvider builds the window's frame with the pipeline's fitted
@@ -34,6 +35,23 @@ func NewFrameProvider(p *core.Pipeline, src core.Source, win features.Window) (*
 	}
 	return &FrameProvider{frame: frame}, nil
 }
+
+// NewFrameProviderDegraded builds the window's frame in degraded mode:
+// unavailable raw tables are imputed around instead of failing the build,
+// and the provider remembers the degradation mask so the daemon can report
+// it (Degradation, /metrics). With everything available the frame is
+// bit-identical to NewFrameProvider's.
+func NewFrameProviderDegraded(p *core.Pipeline, src core.Source, win features.Window) (*FrameProvider, error) {
+	frame, deg, err := p.BuildFrameDegraded(src, win)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameProvider{frame: frame, deg: deg}, nil
+}
+
+// Degradation reports which feature groups of the served window were built
+// from imputed data (zero for a healthy build).
+func (fp *FrameProvider) Degradation() features.Degradation { return fp.deg }
 
 // Vector implements VectorProvider.
 func (fp *FrameProvider) Vector(id int64) ([]float64, bool) { return fp.frame.Row(id) }

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSweepEvictsExpired drives the cache past its sweep threshold
+// with expired entries and checks the sweep actually reclaims them.
+func TestCacheSweepEvictsExpired(t *testing.T) {
+	prov := newMapProvider(3000)
+	c := NewCache(prov, time.Minute, nil)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	// Fill to just under the sweep threshold, then expire everything.
+	for id := int64(0); id < 1023; id++ {
+		if _, ok := c.Vector(id); !ok {
+			t.Fatal("fill fetch failed")
+		}
+	}
+	if c.Len() != 1023 {
+		t.Fatalf("len = %d, want 1023", c.Len())
+	}
+	now = now.Add(2 * time.Minute)
+
+	// The insert that crosses the threshold sweeps the 1023 expired
+	// entries; only itself (fresh) survives.
+	if _, ok := c.Vector(2000); !ok {
+		t.Fatal("threshold fetch failed")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len after sweep = %d, want 1", c.Len())
+	}
+
+	// Fresh entries survive a sweep.
+	for id := int64(0); id < 1100; id++ {
+		c.Vector(id)
+	}
+	if got := c.Len(); got < 1100 {
+		t.Errorf("len = %d, want >= 1100 fresh entries retained", got)
+	}
+}
+
+// TestCacheConcurrentReadersWriters hammers one cache from many goroutines
+// while the clock advances (expiring entries mid-flight) and purges race
+// lookups. Run under -race this is the cache's thread-safety contract; the
+// value assertions catch torn or cross-wired entries.
+func TestCacheConcurrentReadersWriters(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 4000
+		ids     = 256
+	)
+	prov := newMapProvider(ids)
+	m := &Metrics{}
+	c := NewCache(prov, 10*time.Second, m)
+	var tick atomic.Int64
+	tick.Store(1_000_000)
+	c.now = func() time.Time { return time.Unix(tick.Load(), 0) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < ops; i++ {
+				id := int64(rng.Intn(ids))
+				v, ok := c.Vector(id)
+				if !ok {
+					t.Errorf("worker %d: known id %d missed", w, id)
+					return
+				}
+				if v[0] != float64(id) || v[1] != float64(id)*0.5 {
+					t.Errorf("worker %d: id %d got vector %v — cross-wired entry", w, id, v)
+					return
+				}
+				switch i % 500 {
+				case 13:
+					tick.Add(11) // expire everything cached so far
+				case 251:
+					c.Purge()
+				case 377:
+					c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if hits, misses := m.CacheHits.Load(), m.CacheMisses.Load(); hits+misses != workers*ops {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, workers*ops)
+	} else if hits == 0 || misses == 0 {
+		t.Errorf("degenerate mix: hits=%d misses=%d — expiry/purge never exercised", hits, misses)
+	}
+	if c.Len() > ids {
+		t.Errorf("len = %d exceeds universe %d", c.Len(), ids)
+	}
+}

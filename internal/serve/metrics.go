@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+
+	"telcochurn/internal/features"
 )
 
 // Metrics is the scoring service's instrumentation: lock-free counters and
@@ -24,6 +26,19 @@ type Metrics struct {
 	// feature provider.
 	CacheHits   atomic.Uint64
 	CacheMisses atomic.Uint64
+	// Retries counts source-layer read retries absorbed while assembling
+	// the served window; RetriesExhausted counts operations that kept
+	// failing after their last attempt (each one degraded or failed a
+	// window).
+	Retries          atomic.Uint64
+	RetriesExhausted atomic.Uint64
+	// DegradedMask is a gauge holding the degradation bitmask of the
+	// currently served window (bit i-1 = feature group Fi; 0 = healthy).
+	DegradedMask atomic.Uint64
+	// Reloads counts successful artifact hot-swaps; ReloadFailures counts
+	// rejected ones (the previous engine kept serving).
+	Reloads        atomic.Uint64
+	ReloadFailures atomic.Uint64
 	// BatchSize observes items per flushed micro-batch; LatencyNs observes
 	// end-to-end per-request latency.
 	BatchSize Histogram
@@ -37,18 +52,25 @@ func (m *Metrics) Snapshot() map[string]any {
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
+	mask := m.DegradedMask.Load()
 	return map[string]any{
-		"requests":       m.Requests.Load(),
-		"scored":         m.Scored.Load(),
-		"batches":        m.Batches.Load(),
-		"errors":         m.Errors.Load(),
-		"queue_full":     m.QueueFull.Load(),
-		"canceled":       m.Canceled.Load(),
-		"cache_hits":     hits,
-		"cache_misses":   misses,
-		"cache_hit_rate": hitRate,
-		"batch_size":     m.BatchSize.Snapshot(),
-		"latency_ns":     m.LatencyNs.Snapshot(),
+		"requests":          m.Requests.Load(),
+		"scored":            m.Scored.Load(),
+		"batches":           m.Batches.Load(),
+		"errors":            m.Errors.Load(),
+		"queue_full":        m.QueueFull.Load(),
+		"canceled":          m.Canceled.Load(),
+		"cache_hits":        hits,
+		"cache_misses":      misses,
+		"cache_hit_rate":    hitRate,
+		"retries":           m.Retries.Load(),
+		"retries_exhausted": m.RetriesExhausted.Load(),
+		"degraded_mask":     mask,
+		"degraded_groups":   features.Degradation(mask).String(),
+		"reloads":           m.Reloads.Load(),
+		"reload_failures":   m.ReloadFailures.Load(),
+		"batch_size":        m.BatchSize.Snapshot(),
+		"latency_ns":        m.LatencyNs.Snapshot(),
 	}
 }
 

@@ -189,6 +189,13 @@ func (s *Scorer) Close() {
 	s.wg.Wait()
 }
 
+// Closed reports whether Close has been called (readiness probes use it).
+func (s *Scorer) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
 // loop is the batching goroutine: it blocks for the first item, then
 // collects until MaxBatch or MaxDelay, then flushes — so an idle service
 // adds no latency beyond one queue hop, and a busy one amortizes dispatch

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -53,25 +54,14 @@ func (w *Warehouse) StageDay(name string, month, day int, t *table.Table) error 
 		}
 		break // one probe suffices; staged days are mutually consistent
 	}
-	dir := w.stagingDir(name, month)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := w.runHook(OpStageDay, name, month); err != nil {
+		var cr *Crash
+		if errors.As(err, &cr) {
+			return w.crashingWrite(cr, w.stagingDir(name, month), w.stagedDayPath(name, month, day), t)
+		}
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	if err := writeTable(tmp, t); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return os.Rename(tmpName, w.stagedDayPath(name, month, day))
+	return atomicWrite(w.stagingDir(name, month), w.stagedDayPath(name, month, day), t)
 }
 
 // StagedDays lists the staged days of a month, ascending.
@@ -100,6 +90,9 @@ func (w *Warehouse) StagedDays(name string, month int) ([]int, error) {
 }
 
 func (w *Warehouse) readStagedDay(name string, month, day int) (*table.Table, error) {
+	if err := w.runHook(OpReadStagedDay, name, month); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(w.stagedDayPath(name, month, day))
 	if err != nil {
 		return nil, err

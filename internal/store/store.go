@@ -40,9 +40,77 @@ const magic = "TCT1"
 // ErrCorrupt is returned when a file fails checksum or structural checks.
 var ErrCorrupt = errors.New("store: corrupt table file")
 
+// Op identifies a warehouse I/O operation for fault hooks.
+type Op string
+
+// Warehouse I/O operations observable through a Hook.
+const (
+	OpReadPartition  Op = "read-partition"
+	OpWritePartition Op = "write-partition"
+	OpStageDay       Op = "stage-day"
+	OpReadStagedDay  Op = "read-staged-day"
+)
+
+// Hook intercepts warehouse I/O before it touches disk. A nil return lets
+// the operation proceed; an error fails it as if the disk had failed. A
+// returned *Crash makes write operations simulate a process death at the
+// crash point instead: the write is abandoned exactly as an OS crash would
+// leave it (possibly a stray temp file) and the *Crash is returned. The
+// atomicity contract — a partition is either the complete old table, the
+// complete new table, or absent, never a torn mix — must hold at every
+// crash point; internal/faults drives this hook to prove it.
+type Hook func(op Op, name string, month int) error
+
+// Crash is a simulated process death inside a warehouse write, for crash
+// injection (returned by a Hook). It is an error so injectors can thread it
+// through the regular hook signature.
+type Crash struct {
+	// Point selects where in the write the process "dies".
+	Point CrashPoint
+}
+
+// CrashPoint enumerates the places a warehouse write can die.
+type CrashPoint int
+
+const (
+	// CrashMidWrite dies with the temp file half-written (torn bytes that
+	// must never become a readable partition).
+	CrashMidWrite CrashPoint = iota
+	// CrashBeforeRename dies with the temp file complete but not committed.
+	CrashBeforeRename
+	// CrashAfterRename dies just after the atomic commit: the new partition
+	// is visible and must be complete and readable.
+	CrashAfterRename
+)
+
+func (c *Crash) Error() string {
+	switch c.Point {
+	case CrashMidWrite:
+		return "store: simulated crash mid-write"
+	case CrashBeforeRename:
+		return "store: simulated crash before rename"
+	default:
+		return "store: simulated crash after rename"
+	}
+}
+
 // Warehouse is a directory of partitioned tables.
 type Warehouse struct {
 	root string
+	hook Hook
+}
+
+// SetHook installs a fault-injection hook on every partition and staging
+// read/write. Install it before concurrent use (it is read without locking
+// on the I/O paths); passing nil removes it.
+func (w *Warehouse) SetHook(h Hook) { w.hook = h }
+
+// runHook invokes the hook, if any, for an operation about to run.
+func (w *Warehouse) runHook(op Op, name string, month int) error {
+	if w.hook == nil {
+		return nil
+	}
+	return w.hook(op, name, month)
 }
 
 // Open returns a warehouse rooted at dir, creating it if needed.
@@ -82,7 +150,22 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 			}
 		}
 	}
-	dir := filepath.Join(w.root, name)
+	if err := w.runHook(OpWritePartition, name, month); err != nil {
+		var cr *Crash
+		if errors.As(err, &cr) {
+			return w.crashingWrite(cr, filepath.Join(w.root, name), w.partitionPath(name, month), t)
+		}
+		return err
+	}
+	return atomicWrite(filepath.Join(w.root, name), w.partitionPath(name, month), t)
+}
+
+// atomicWrite is the warehouse commit protocol: write a temp file in the
+// destination directory, then rename over the target. A reader can
+// therefore only ever observe the complete old file, the complete new file,
+// or no file — never a torn mix (rename within one directory is atomic on
+// POSIX filesystems).
+func atomicWrite(dir, dst string, t *table.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -100,11 +183,46 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, w.partitionPath(name, month))
+	return os.Rename(tmpName, dst)
+}
+
+// crashingWrite simulates a process dying at cr.Point during atomicWrite,
+// leaving the filesystem exactly as a real crash would: a torn or complete
+// temp file that no reader ever opens, or (after-rename) the committed new
+// partition. It always returns cr so callers observe the "crash".
+func (w *Warehouse) crashingWrite(cr *Crash, dir, dst string, t *table.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := writeTable(tmp, t); err != nil {
+		tmp.Close()
+		return cr
+	}
+	if cr.Point == CrashMidWrite {
+		// Tear the temp file in half, as a crash between write syscalls
+		// would. It must stay invisible to every read path.
+		if info, err := tmp.Stat(); err == nil {
+			tmp.Truncate(info.Size() / 2)
+		}
+		tmp.Close()
+		return cr
+	}
+	tmp.Close()
+	if cr.Point == CrashAfterRename {
+		os.Rename(tmp.Name(), dst)
+	}
+	return cr
 }
 
 // ReadPartition loads partition month of the named table.
 func (w *Warehouse) ReadPartition(name string, month int) (*table.Table, error) {
+	if err := w.runHook(OpReadPartition, name, month); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(w.partitionPath(name, month))
 	if err != nil {
 		return nil, err

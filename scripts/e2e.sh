@@ -1,18 +1,34 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end serving smoke test: train a tiny artifact on synthetic data,
 # start churnd, score one batch over HTTP and assert exact score parity with
-# the batch path (`churnctl score -full`). Run via `make e2e`; CI runs the
-# same script. Needs only the go toolchain and standard POSIX tools.
-set -eu
+# the batch path (`churnctl score -full`), then knock out a raw table and
+# assert degraded-mode scoring still serves with the mask reported. Run via
+# `make e2e`; CI runs the same script. Needs the go toolchain, bash and
+# standard POSIX tools.
+set -euo pipefail
 
 PORT="${E2E_PORT:-18080}"
 WORK="$(mktemp -d)"
 CHURND_PID=""
 cleanup() {
-    [ -n "$CHURND_PID" ] && kill "$CHURND_PID" 2>/dev/null || true
+    # Always reap the background daemon, whatever path exited the script.
+    if [ -n "$CHURND_PID" ]; then
+        kill "$CHURND_PID" 2>/dev/null || true
+        wait "$CHURND_PID" 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
+
+wait_healthy() {
+    local i=0
+    until curl -sf "http://127.0.0.1:$PORT/readyz" > /dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 50 ] || { echo "e2e: churnd never became ready"; exit 1; }
+        kill -0 "$CHURND_PID" 2>/dev/null || { echo "e2e: churnd exited early"; exit 1; }
+        sleep 0.2
+    done
+}
 
 echo "== build =="
 go build -o "$WORK/churnctl" ./cmd/churnctl
@@ -33,13 +49,7 @@ echo "   $N customers scored in batch"
 echo "== start churnd on :$PORT =="
 "$WORK/churnd" -artifact "$WORK/model.tcpa" -warehouse "$WORK/wh" -addr "127.0.0.1:$PORT" &
 CHURND_PID=$!
-i=0
-until curl -sf "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -le 50 ] || { echo "e2e: churnd never became healthy"; exit 1; }
-    kill -0 "$CHURND_PID" 2>/dev/null || { echo "e2e: churnd exited early"; exit 1; }
-    sleep 0.2
-done
+wait_healthy
 curl -sf "http://127.0.0.1:$PORT/healthz"; echo
 
 echo "== served scores (POST /v1/score) =="
@@ -65,4 +75,35 @@ fi
 echo "   $N served scores bit-identical to churnctl score"
 
 curl -sf "http://127.0.0.1:$PORT/metrics"; echo
+
+echo "== degraded mode (web feed knocked out) =="
+kill "$CHURND_PID"
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+rm -rf "$WORK/wh/web"
+
+# Strict scoring must refuse the broken warehouse...
+if "$WORK/churnctl" score -warehouse "$WORK/wh" -model "$WORK/model.tcpa" -top 5 > /dev/null 2>&1; then
+    echo "e2e: strict score survived a missing raw table"
+    exit 1
+fi
+# ...degraded scoring serves it and names the imputed groups on stderr.
+DEG_ERR="$("$WORK/churnctl" score -degraded -warehouse "$WORK/wh" -model "$WORK/model.tcpa" -top 5 2>&1 >/dev/null)"
+echo "$DEG_ERR" | grep -q "degraded groups: F1,F3" \
+    || { echo "e2e: churnctl score -degraded did not report mask: $DEG_ERR"; exit 1; }
+
+"$WORK/churnd" -degraded -artifact "$WORK/model.tcpa" -warehouse "$WORK/wh" -addr "127.0.0.1:$PORT" &
+CHURND_PID=$!
+wait_healthy
+READY="$(curl -sf "http://127.0.0.1:$PORT/readyz")"
+echo "$READY" | grep -q '"degraded":"F1,F3"' \
+    || { echo "e2e: degraded churnd readyz missing mask: $READY"; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '"degraded_groups":"F1,F3"' \
+    || { echo "e2e: degraded_groups missing from /metrics"; exit 1; }
+ONE_ID="$(cut -d, -f2 "$WORK/batch.csv" | head -1)"
+curl -sf -X POST -d "{\"id\":$ONE_ID}" "http://127.0.0.1:$PORT/v1/score" \
+    | grep -q '"degraded":"F1,F3"' \
+    || { echo "e2e: degraded score response missing mask"; exit 1; }
+echo "   degraded window served with mask F1,F3 via churnctl, /readyz, /metrics and /v1/score"
+
 echo "e2e: OK"
