@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-profile chaos e2e ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-compare bench-profile chaos e2e scale-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -40,10 +40,19 @@ bench-smoke:
 
 # Machine-readable benchmark report (ns/op, B/op, allocs/op as JSON), for
 # committing alongside perf PRs and diffing in CI. BENCH ?= regex, OUT ?= file.
-BENCH ?= BenchmarkTableGroupBy|BenchmarkTableHashJoin|BenchmarkWideTableBuild
+BENCH ?= BenchmarkTableGroupBy|BenchmarkTableHashJoin|BenchmarkWideTableBuild|BenchmarkShardedWideTableBuild
 OUT ?= BENCH.json
 bench-json:
 	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -benchtime 2s -pkg . -out $(OUT)
+
+# Regression gate: fail if any benchmark tracked by the committed baseline
+# got slower than BASELINE x TOLERANCE. Refresh the baseline deliberately
+# (make bench-json OUT=BENCH_6.json on a quiet machine) when perf changes
+# are intentional.
+BASELINE ?= BENCH_6.json
+TOLERANCE ?= 1.5x
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) $(BASELINE) $(OUT)
 
 # CPU + heap profiles of the tree-training benchmarks; inspect with
 # `go tool pprof cpu.out` / `go tool pprof mem.out` (see DESIGN.md §8).
@@ -66,8 +75,15 @@ chaos:
 e2e:
 	bash scripts/e2e.sh
 
+# Out-of-core scale smoke: generate a runner-budget sharded warehouse, run
+# the F1-F6 wide-table build shard by shard in a fresh process, and fail if
+# peak RSS exceeds the declared ceiling. SCALE_CUSTOMERS / SCALE_SHARDS /
+# SCALE_RSS_MB override the defaults (see scripts/scale_smoke.sh).
+scale-smoke:
+	bash scripts/scale_smoke.sh
+
 # Everything the CI workflow checks, in the same order.
-ci: build vet fmt-check test-race chaos bench-smoke e2e
+ci: build vet fmt-check test-race chaos bench-smoke scale-smoke e2e
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:

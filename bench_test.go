@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"telcochurn/internal/experiments"
 	"telcochurn/internal/features"
 	"telcochurn/internal/graph"
+	"telcochurn/internal/procstat"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
 	"telcochurn/internal/table"
@@ -158,6 +160,62 @@ func BenchmarkWideTableBuild(b *testing.B) {
 				if _, err := features.BuildBaseFeatures(tbl, win, 30, w); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedWideTableBuild measures the out-of-core F1-F6 build over
+// an on-disk sharded warehouse across shard counts. SCALE_CUSTOMERS scales
+// the population (default 4000; the scale smoke test runs this path at
+// 50k+, see scripts/scale_smoke.sh). Reported raw-rows/sec and peak-RSS-MB
+// land in the JSON report's extra fields.
+func BenchmarkShardedWideTableBuild(b *testing.B) {
+	customers := 4000
+	if env := os.Getenv("SCALE_CUSTOMERS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad SCALE_CUSTOMERS %q", env)
+		}
+		customers = n
+	}
+	cfg := synth.DefaultConfig()
+	cfg.Customers = customers
+	cfg.Months = 2
+	cfg.Seed = 17
+	cfg.BurnInMonths = 1
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			wh, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, err := wh.Sharded(shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := synth.GenerateToShardedWarehouse(cfg, sw); err != nil {
+				b.Fatal(err)
+			}
+			src := core.NewShardedWarehouseSource(sw, cfg.DaysPerMonth)
+			p := core.NewFrameBuilder(core.Config{Groups: []features.Group{
+				features.F1Baseline, features.F2CS, features.F3PS,
+				features.F4CallGraph, features.F5MessageGraph, features.F6CooccurrenceGraph,
+			}})
+			win := features.MonthWindow(2, cfg.DaysPerMonth)
+			var rawRows int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := p.BuildFrameSharded(src, win)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rawRows = stats.RawRows
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rawRows)*float64(b.N)/b.Elapsed().Seconds(), "raw-rows/sec")
+			if peak, ok := procstat.PeakRSSBytes(); ok {
+				b.ReportMetric(float64(peak)/(1<<20), "peak-RSS-MB")
 			}
 		})
 	}

@@ -6,6 +6,13 @@
 //
 // It shells out to `go test -run ^$ -bench ... -benchmem` in the target
 // package and parses the standard benchmark output format.
+//
+// It also gates regressions between two of its own reports:
+//
+//	benchjson -compare -tolerance 1.5x old.json new.json
+//
+// which exits non-zero if any benchmark present in the baseline is missing
+// from the new report or slowed past baseline x tolerance.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,7 +54,17 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "per-benchmark time passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "", "output JSON file (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two reports (old.json new.json) instead of running benchmarks")
+	tolerance := flag.String("tolerance", "1.5x", "allowed ns/op slowdown factor in -compare mode (e.g. 1.5 or 1.5x)")
 	flag.Parse()
+
+	if *compareMode {
+		if err := compare(flag.Args(), *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	report, err := run(*bench, *benchtime, *pkg)
 	if err != nil {
@@ -68,6 +86,73 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+// compare loads a baseline and a fresh report and fails on regressions:
+// every baseline benchmark must still exist, and none may exceed
+// baseline ns/op x tolerance. New benchmarks absent from the baseline pass
+// (they gate once the baseline is refreshed). Runner noise is expected —
+// pick a tolerance generous enough for the CI machine class.
+func compare(paths []string, tolerance string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
+	}
+	tol, err := strconv.ParseFloat(strings.TrimSuffix(tolerance, "x"), 64)
+	if err != nil || tol <= 0 {
+		return fmt.Errorf("bad -tolerance %q (want e.g. 1.5 or 1.5x)", tolerance)
+	}
+	load := func(path string) (map[string]Result, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := make(map[string]Result, len(rep.Benchmarks))
+		for _, r := range rep.Benchmarks {
+			out[r.Name] = r
+		}
+		return out, nil
+	}
+	oldRes, err := load(paths[0])
+	if err != nil {
+		return err
+	}
+	newRes, err := load(paths[1])
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		base := oldRes[name]
+		cur, ok := newRes[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from new report", name))
+			continue
+		}
+		limit := base.NsPerOp * tol
+		verdict := "ok"
+		if cur.NsPerOp > limit {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.0f at %gx)",
+				name, cur.NsPerOp, base.NsPerOp, limit, tol))
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n",
+			name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %gx:\n  %s",
+			len(failures), tol, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchjson: %d benchmarks within %gx of baseline\n", len(names), tol)
+	return nil
 }
 
 func run(bench, benchtime, pkg string) (*Report, error) {

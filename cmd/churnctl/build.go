@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/features"
+	"telcochurn/internal/procstat"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+)
+
+// cmdBuild runs the out-of-core wide-table build over a warehouse and
+// reports throughput and peak memory — the scale smoke test's workhorse.
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	month := fs.Int("month", 0, "feature month (0 = latest customers partition)")
+	groupsFlag := fs.String("groups", "default", "feature groups to build (default = F1-F6; F7-F9 need a fitted model)")
+	workers := fs.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "shard count to build with (0 = detect from layout)")
+	rssLimitMB := fs.Int("rss-limit-mb", 0, "fail if peak RSS exceeds this many MB (0 = no limit)")
+	checksum := fs.Bool("checksum", false, "print a frame checksum (bit-exact across shard counts and workers)")
+	fs.Parse(args)
+
+	groups, err := parseGroups(*groupsFlag)
+	if err != nil {
+		return err
+	}
+	wh, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	if *month == 0 {
+		months, err := wh.Months(synth.TableCustomers)
+		if err != nil {
+			return err
+		}
+		if len(months) == 0 {
+			return fmt.Errorf("no customers partitions in %s", *dir)
+		}
+		*month = months[len(months)-1]
+	}
+	if *shards == 0 {
+		if *shards, err = wh.DetectShards(synth.TableCustomers); err != nil {
+			return err
+		}
+	}
+	sw, err := wh.Sharded(*shards)
+	if err != nil {
+		return err
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	src := core.NewShardedWarehouseSource(sw, days)
+	win := features.MonthWindow(*month, days)
+	p := core.NewFrameBuilder(core.Config{Groups: groups, Workers: *workers})
+
+	start := time.Now()
+	frame, stats, err := p.BuildFrameSharded(src, win)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("built month=%d customers=%d features=%d shards=%d raw_rows=%d in %v (%.0f raw rows/sec)\n",
+		*month, frame.NumRows(), frame.NumColumns(), stats.Shards, stats.RawRows,
+		elapsed.Round(time.Millisecond), float64(stats.RawRows)/elapsed.Seconds())
+	peak, ok := procstat.PeakRSSBytes()
+	if ok {
+		fmt.Printf("peak_rss_mb=%d\n", peak/(1<<20))
+	}
+	if *checksum {
+		fmt.Printf("frame_checksum=%016x\n", frameChecksum(frame))
+	}
+	if *rssLimitMB > 0 {
+		if !ok {
+			return fmt.Errorf("-rss-limit-mb set but peak RSS is unavailable on this OS")
+		}
+		if peak > int64(*rssLimitMB)<<20 {
+			return fmt.Errorf("peak RSS %d MB exceeds limit %d MB", peak/(1<<20), *rssLimitMB)
+		}
+	}
+	return nil
+}
+
+// frameChecksum digests ids, column names and every cell's exact bits, so
+// two builds print the same checksum iff their frames are bit-identical.
+func frameChecksum(f *features.Frame) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, name := range f.Names() {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	for _, id := range f.IDs() {
+		writeU64(uint64(id))
+		row, _ := f.Row(id)
+		for _, v := range row {
+			writeU64(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
+}

@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -50,6 +51,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
 	case "features":
@@ -73,9 +76,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  churnctl generate -out DIR [-customers N] [-months N] [-seed N]
+  churnctl generate -out DIR [-customers N] [-months N] [-seed N] [-shards N] [-burnin N]
   churnctl eval EXPERIMENT|all [-customers N] [-trees N] [-repeats N] [-seed N] [-workers N] [-bins N] [-cpuprofile F] [-memprofile F]
   churnctl inspect -warehouse DIR
+  churnctl build -warehouse DIR [-month N] [-groups F1,..] [-shards N] [-workers N] [-rss-limit-mb N] [-checksum]
+                                             out-of-core wide-table build with memory reporting
   churnctl explain [-customers N] [-top N]   root causes of predicted churners
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
   churnctl train -warehouse DIR -out FILE    fit the pipeline and save a versioned artifact
@@ -93,21 +98,32 @@ func cmdGenerate(args []string) error {
 	months := fs.Int("months", 9, "months to simulate")
 	seed := fs.Int64("seed", 1, "generator seed")
 	daily := fs.Bool("daily", false, "land event tables day by day and compact (the platform's daily ETL flow)")
+	shards := fs.Int("shards", 1, "hash-shard each month partition N ways (1 = plain layout)")
+	burnin := fs.Int("burnin", 0, "unrecorded burn-in months before month 1 (0 = generator default)")
 	fs.Parse(args)
 
 	cfg := synth.DefaultConfig()
 	cfg.Customers = *customers
 	cfg.Months = *months
 	cfg.Seed = *seed
+	cfg.BurnInMonths = *burnin
 
 	wh, err := store.Open(*out)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	if *daily {
+	switch {
+	case *daily && *shards > 1:
+		return fmt.Errorf("-daily and -shards are mutually exclusive")
+	case *daily:
 		err = generateDaily(cfg, wh)
-	} else {
+	case *shards > 1:
+		var sw *store.ShardedWarehouse
+		if sw, err = wh.Sharded(*shards); err == nil {
+			err = synth.GenerateToShardedWarehouse(cfg, sw)
+		}
+	default:
 		err = synth.GenerateToWarehouse(cfg, wh)
 	}
 	if err != nil {
@@ -263,15 +279,32 @@ func cmdInspect(args []string) error {
 		if err != nil {
 			return err
 		}
+		shards, err := wh.DetectShards(name)
+		if err != nil {
+			return err
+		}
+		// Count rows block by block so inspecting a sharded out-of-core
+		// warehouse never loads a whole month at once.
+		br, err := wh.OpenBlocks(name, months)
+		if err != nil {
+			return err
+		}
 		total := 0
-		for _, m := range months {
-			t, err := wh.ReadPartition(name, m)
+		for {
+			b, err := br.Next()
+			if err == io.EOF {
+				break
+			}
 			if err != nil {
 				return err
 			}
-			total += t.NumRows()
+			total += b.Table.NumRows()
 		}
-		fmt.Printf("%-12s partitions=%d rows=%d\n", name, len(months), total)
+		if shards > 1 {
+			fmt.Printf("%-12s partitions=%d rows=%d shards=%d\n", name, len(months), total, shards)
+		} else {
+			fmt.Printf("%-12s partitions=%d rows=%d\n", name, len(months), total)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"telcochurn/internal/features"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// ShardedSource is a Source whose raw tables can also be read one
+// customer-hash shard at a time, enabling the out-of-core wide-table build.
+type ShardedSource interface {
+	Source
+	// NumShards returns the shard count the readers cover.
+	NumShards() int
+	// ShardReader returns a per-table reader restricted to one shard.
+	ShardReader(shard int) features.TableReader
+}
+
+// ShardedWarehouseSource serves a sharded view of an on-disk warehouse. The
+// embedded WarehouseSource keeps every whole-month path (Truth, Tables,
+// degraded loading) working unchanged; the shard readers add the
+// out-of-core path.
+type ShardedWarehouseSource struct {
+	*WarehouseSource
+	sw *store.ShardedWarehouse
+}
+
+// NewShardedWarehouseSource wraps a sharded warehouse view.
+func NewShardedWarehouseSource(sw *store.ShardedWarehouse, daysPerMonth int) *ShardedWarehouseSource {
+	return &ShardedWarehouseSource{
+		WarehouseSource: NewWarehouseSource(sw.Warehouse(), daysPerMonth),
+		sw:              sw,
+	}
+}
+
+// NumShards implements ShardedSource.
+func (s *ShardedWarehouseSource) NumShards() int { return s.sw.Shards() }
+
+// ShardReader implements ShardedSource.
+func (s *ShardedWarehouseSource) ShardReader(shard int) features.TableReader {
+	return s.sw.ShardReader(shard)
+}
+
+// AsSharded reports whether src can serve shard-at-a-time reads, unwrapping
+// retry decoration: a RetrySource over a sharded source is itself sharded,
+// with every per-shard table read retried under the usual policy.
+func AsSharded(src Source) (ShardedSource, bool) {
+	switch s := src.(type) {
+	case *RetrySource:
+		inner, ok := AsSharded(s.inner)
+		if !ok {
+			return nil, false
+		}
+		return retryShardedSource{RetrySource: s, sharded: inner}, true
+	case ShardedSource:
+		return s, true
+	}
+	return nil, false
+}
+
+// retryShardedSource decorates a sharded source's shard readers with the
+// retry source's backoff policy (and inherits its Source methods).
+type retryShardedSource struct {
+	*RetrySource
+	sharded ShardedSource
+}
+
+func (r retryShardedSource) NumShards() int { return r.sharded.NumShards() }
+
+func (r retryShardedSource) ShardReader(shard int) features.TableReader {
+	return retryingReader{r: r.sharded.ShardReader(shard), rs: r.RetrySource, deadline: r.RetrySource.deadline()}
+}
+
+// BuildFrameSharded builds the window's wide table shard by shard with
+// bounded peak memory. The frame is bit-identical for any shard count and
+// any worker count; see features.BuildShardedFrame for the contract. F7-F9
+// need a fitted pipeline (their feature models are trained by Fit on merged
+// data); F1-F6 work on an unfitted NewFrameBuilder pipeline.
+//
+// Label-propagation seeds canonicalize the truth table by customer id
+// before sampling, because the stable-seed stride walks rows in order and a
+// sharded truth partition concatenates in shard order. The generator emits
+// truth sorted by id, so the canonical order matches the plain layout.
+func (p *Pipeline) BuildFrameSharded(src ShardedSource, win features.Window) (*features.Frame, features.ShardStats, error) {
+	days := src.DaysPerMonth()
+	var groups []features.Group
+	for _, g := range p.cfg.Groups {
+		if g != features.F9SecondOrder {
+			groups = append(groups, g)
+		}
+	}
+	spec := features.ShardedBuildSpec{
+		Shards:       src.NumShards(),
+		Win:          win,
+		DaysPerMonth: days,
+		Workers:      p.cfg.Workers,
+		Groups:       groups,
+		Load: func(s int) (features.Tables, error) {
+			return features.LoadTablesFrom(src.ShardReader(s), win, days)
+		},
+		LoadCustomers: func(s int) (*table.Table, error) {
+			return src.ShardReader(s).ReadMonths(synth.TableCustomers, win.Months(days))
+		},
+	}
+	wantGraph := p.cfg.hasGroup(features.F4CallGraph) ||
+		p.cfg.hasGroup(features.F5MessageGraph) ||
+		p.cfg.hasGroup(features.F6CooccurrenceGraph)
+	if wantGraph {
+		seedMonth := win.SnapshotMonth(days)
+		truth, err := src.Truth(seedMonth)
+		if err != nil {
+			return nil, features.ShardStats{}, fmt.Errorf("core: graph features need truth of month %d: %w", seedMonth, err)
+		}
+		sorted, err := table.SortByInt(truth, "imsi")
+		if err != nil {
+			return nil, features.ShardStats{}, fmt.Errorf("core: canonicalize truth: %w", err)
+		}
+		spec.GraphIn = features.GraphFeatureInput{
+			PrevChurners: features.ChurnersOf(sorted),
+			StableSample: features.StableOf(sorted, p.cfg.StableSeedStride),
+		}
+	}
+	if p.cfg.hasGroup(features.F7ComplaintTopics) {
+		if p.complaints == nil {
+			return nil, features.ShardStats{}, fmt.Errorf("core: sharded build of F7 needs a fitted pipeline")
+		}
+		spec.Complaints = p.complaints
+	}
+	if p.cfg.hasGroup(features.F8SearchTopics) {
+		if p.search == nil {
+			return nil, features.ShardStats{}, fmt.Errorf("core: sharded build of F8 needs a fitted pipeline")
+		}
+		spec.Search = p.search
+	}
+	frame, stats, err := features.BuildShardedFrame(spec)
+	if err != nil {
+		return nil, stats, err
+	}
+	if p.cfg.hasGroup(features.F9SecondOrder) {
+		if p.so == nil {
+			return nil, stats, fmt.Errorf("core: sharded build of F9 needs a fitted pipeline")
+		}
+		if err := p.so.Apply(frame); err != nil {
+			return nil, stats, err
+		}
+	}
+	return frame, stats, nil
+}
+
+// PredictSharded scores every customer of the window through the
+// out-of-core build.
+func (p *Pipeline) PredictSharded(src ShardedSource, win features.Window) (*Predictions, features.ShardStats, error) {
+	frame, stats, err := p.BuildFrameSharded(src, win)
+	if err != nil {
+		return nil, stats, err
+	}
+	return p.scoreFrame(frame, 0), stats, nil
+}

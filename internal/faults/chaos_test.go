@@ -3,6 +3,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"testing"
 	"time"
@@ -269,5 +270,163 @@ func TestInjectorDeterministicDecisions(t *testing.T) {
 	}
 	if !diff43 {
 		t.Error("seeds 42 and 43 produced identical 40-call schedules")
+	}
+}
+
+// TestChaosShardedCrashStormNeverTearsWarehouse is the sharded-layout twin
+// of the crash-storm property: a crash anywhere inside a multi-file shard
+// set must never tear the month. Readers see the complete old layout or the
+// complete new one — an interrupted set reads as absent, never as a partial
+// or corrupt month — and retrying the write to completion always recovers.
+func TestChaosShardedCrashStormNeverTearsWarehouse(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 60
+	cfg.Months = 2
+	cfg.Seed = 4
+	months := synth.Simulate(cfg)
+
+	for seed := int64(1); seed <= 8; seed++ {
+		wh, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := wh.Sharded(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := New(Config{Seed: seed, CrashWrites: 0.3})
+		wh.SetHook(inj.WarehouseHook())
+
+		write := func(desc string, f func() error) {
+			for attempt := 0; ; attempt++ {
+				err := f()
+				if err == nil {
+					return
+				}
+				var cr *store.Crash
+				if !errors.As(err, &cr) {
+					t.Fatalf("seed %d: %s: non-crash failure: %v", seed, desc, err)
+				}
+				if attempt > 40 {
+					t.Fatalf("seed %d: %s: still crashing after %d attempts", seed, desc, attempt)
+				}
+				// Mid-storm invariant: a crash inside the shard set must
+				// leave the month whole-old or absent, never torn.
+				if _, rerr := wh.ReadPartition(synth.TableCalls, 1); rerr != nil &&
+					!errors.Is(rerr, fs.ErrNotExist) {
+					t.Fatalf("seed %d: %s: crash window exposed a torn month: %v", seed, desc, rerr)
+				}
+			}
+		}
+		for _, md := range months {
+			for name, tb := range md.Tables() {
+				name, tb := name, tb
+				m := md.Month
+				write(fmt.Sprintf("sharded write %s m%d", name, m), func() error {
+					return sw.WritePartition(name, m, tb)
+				})
+			}
+		}
+		wh.SetHook(nil)
+
+		// Every month reads back whole, with exactly the simulated rows.
+		for name, tb := range months[0].Tables() {
+			got, err := wh.ReadPartition(name, 1)
+			if err != nil {
+				t.Fatalf("seed %d: torn sharded partition %s: %v", seed, name, err)
+			}
+			if got.NumRows() != tb.NumRows() {
+				t.Fatalf("seed %d: %s month 1 has %d rows, want %d", seed, name, got.NumRows(), tb.NumRows())
+			}
+			shards, err := wh.DetectShards(name)
+			if err != nil || shards != 4 {
+				t.Fatalf("seed %d: %s landed with %d shards (err=%v), want 4", seed, name, shards, err)
+			}
+		}
+		if inj.Counts().Crashes == 0 {
+			t.Errorf("seed %d: storm injected no crashes", seed)
+		}
+	}
+}
+
+// TestShardedCrashWindowCompleteOldOrNew pins the exact crash-window
+// semantics with a deterministic hook: crashing on the nth shard file of an
+// overwrite leaves the complete previous month visible (the plain file
+// wins until the set commits), and on a fresh month leaves it cleanly
+// absent — fs.ErrNotExist, never store.ErrCorrupt.
+func TestShardedCrashWindowCompleteOldOrNew(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Customers = 40
+	cfg.Months = 1
+	cfg.Seed = 6
+	months := synth.Simulate(cfg)
+	calls := months[0].Calls
+
+	for crashAt := 1; crashAt <= 4; crashAt++ {
+		wh, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := wh.Sharded(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		armCrash := func(n int) {
+			count := 0
+			wh.SetHook(func(op store.Op, name string, month int) error {
+				if op != store.OpWritePartition {
+					return nil
+				}
+				count++
+				if count == n {
+					return &store.Crash{Point: store.CrashMidWrite}
+				}
+				return nil
+			})
+		}
+
+		// Fresh month, crash mid-set: the month must read as absent.
+		armCrash(crashAt)
+		err = sw.WritePartition(synth.TableCalls, 1, calls)
+		var cr *store.Crash
+		if !errors.As(err, &cr) {
+			t.Fatalf("crashAt=%d: fresh write returned %v, want crash", crashAt, err)
+		}
+		if _, rerr := wh.ReadPartition(synth.TableCalls, 1); !errors.Is(rerr, fs.ErrNotExist) {
+			t.Fatalf("crashAt=%d: interrupted fresh set reads as %v, want fs.ErrNotExist", crashAt, rerr)
+		}
+		if wh.HasPartition(synth.TableCalls, 1) {
+			t.Fatalf("crashAt=%d: HasPartition true over interrupted fresh set", crashAt)
+		}
+
+		// Retry to completion: the month recovers whole.
+		wh.SetHook(nil)
+		if err := sw.WritePartition(synth.TableCalls, 1, calls); err != nil {
+			t.Fatalf("crashAt=%d: recovery write: %v", crashAt, err)
+		}
+		whole, err := wh.ReadPartition(synth.TableCalls, 1)
+		if err != nil || whole.NumRows() != calls.NumRows() {
+			t.Fatalf("crashAt=%d: recovered month rows=%v err=%v, want %d rows", crashAt, whole.NumRows(), err, calls.NumRows())
+		}
+
+		// Overwrite with a plain month in place: a crash mid-set must leave
+		// the complete old month visible (plain file wins until commit).
+		if err := wh.WritePartition(synth.TableCalls, 2, calls); err != nil {
+			t.Fatal(err)
+		}
+		armCrash(crashAt)
+		err = sw.WritePartition(synth.TableCalls, 2, calls)
+		if !errors.As(err, &cr) {
+			t.Fatalf("crashAt=%d: overwrite returned %v, want crash", crashAt, err)
+		}
+		wh.SetHook(nil)
+		old, err := wh.ReadPartition(synth.TableCalls, 2)
+		if err != nil {
+			t.Fatalf("crashAt=%d: crash window lost the old month: %v", crashAt, err)
+		}
+		if old.NumRows() != calls.NumRows() {
+			t.Fatalf("crashAt=%d: old month has %d rows after crash, want %d", crashAt, old.NumRows(), calls.NumRows())
+		}
 	}
 }

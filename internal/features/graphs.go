@@ -60,7 +60,7 @@ func BuildMessageGraph(tbl Tables, win Window, daysPerMonth int, isCustomer func
 // crowded cells; within a cap of c members a cube contributes c(c-1)/2
 // edges, which preserves the community structure the feature needs.
 func BuildCooccurrenceGraph(tbl Tables, win Window, daysPerMonth int, isCustomer func(int64) bool) *graph.Graph {
-	const cubeCap = 30
+	const cubeCap = cooccurrenceCubeCap
 	g := graph.New()
 	loc := tbl.Locations
 	inWin := inWindow(loc, win, daysPerMonth)
@@ -152,6 +152,26 @@ func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in Gra
 		{BuildCooccurrenceGraph, F6CooccurrenceGraph, "cooccurrence"},
 	}
 
+	seeds := seedMap(in)
+	type graphCols struct {
+		pr, lp map[int64]float64
+	}
+	results := make([]graphCols, len(specs))
+	parallel.ForGrain(workers, len(specs), 1, func(i int) {
+		g := specs[i].build(tbl, win, daysPerMonth, isCustomer)
+		pr, lp := scoreGraph(g, seeds, workers)
+		results[i] = graphCols{pr: pr, lp: lp}
+	})
+
+	for i, spec := range specs {
+		f.AddColumn(spec.group, "pagerank_"+spec.suffix, results[i].pr, 0)
+		f.AddColumn(spec.group, "labelpropagation_"+spec.suffix, results[i].lp, 0.5)
+	}
+}
+
+// seedMap flattens the seed input into label-propagation class seeds; the
+// churner class wins when a customer appears in both sets.
+func seedMap(in GraphFeatureInput) map[int64]int {
 	seeds := make(map[int64]int)
 	for id := range in.PrevChurners {
 		seeds[id] = 1
@@ -161,34 +181,27 @@ func AddGraphFeatures(f *Frame, tbl Tables, win Window, daysPerMonth int, in Gra
 			seeds[id] = 0
 		}
 	}
+	return seeds
+}
 
-	type graphCols struct {
-		pr, lp map[int64]float64
+// scoreGraph runs the two per-graph feature algorithms — PageRank scaled by
+// vertex count (population-size invariant) and 2-round label propagation —
+// returning the per-customer column maps. Both the in-memory and the sharded
+// builders score through here, so their columns differ only by how the graph
+// itself was assembled.
+func scoreGraph(g *graph.Graph, seeds map[int64]int, workers int) (prCol, lpCol map[int64]float64) {
+	pr := g.PageRank(graph.PageRankOptions{Workers: workers})
+	prCol = make(map[int64]float64, len(pr))
+	nv := float64(g.NumVertices())
+	for id, v := range pr {
+		prCol[id] = v * nv
 	}
-	results := make([]graphCols, len(specs))
-	parallel.ForGrain(workers, len(specs), 1, func(i int) {
-		g := specs[i].build(tbl, win, daysPerMonth, isCustomer)
-
-		pr := g.PageRank(graph.PageRankOptions{Workers: workers})
-		prCol := make(map[int64]float64, len(pr))
-		// Scale by vertex count so the feature is population-size invariant.
-		nv := float64(g.NumVertices())
-		for id, v := range pr {
-			prCol[id] = v * nv
-		}
-
-		lp := g.LabelPropagation(seeds, 2, graph.LabelPropOptions{Workers: workers})
-		lpCol := make(map[int64]float64, len(lp))
-		for id, probs := range lp {
-			lpCol[id] = probs[1]
-		}
-		results[i] = graphCols{pr: prCol, lp: lpCol}
-	})
-
-	for i, spec := range specs {
-		f.AddColumn(spec.group, "pagerank_"+spec.suffix, results[i].pr, 0)
-		f.AddColumn(spec.group, "labelpropagation_"+spec.suffix, results[i].lp, 0.5)
+	lp := g.LabelPropagation(seeds, 2, graph.LabelPropOptions{Workers: workers})
+	lpCol = make(map[int64]float64, len(lp))
+	for id, probs := range lp {
+		lpCol[id] = probs[1]
 	}
+	return prCol, lpCol
 }
 
 // ChurnersOf extracts the labeled churners of a month from its truth table.

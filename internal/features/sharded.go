@@ -1,0 +1,238 @@
+package features
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"telcochurn/internal/graph"
+	"telcochurn/internal/parallel"
+	"telcochurn/internal/table"
+)
+
+// ShardedBuildSpec parameterizes an out-of-core wide-table build: the raw
+// tables arrive one customer-hash shard at a time through the Load callbacks
+// instead of as one in-memory Tables bundle, so peak memory is bounded by
+// the largest shard (times the worker count), not the dataset.
+type ShardedBuildSpec struct {
+	// Shards is the number of hash shards the loaders cover. 1 is valid and
+	// produces the same frame as any other count.
+	Shards int
+	// Load returns the raw tables of one shard restricted to the window's
+	// months. Called once per shard.
+	Load func(shard int) (Tables, error)
+	// LoadCustomers returns one shard's customers table over the window's
+	// months. Called once per shard, before Load, to resolve the customer
+	// universe up front (graph edges need the full universe predicate).
+	LoadCustomers func(shard int) (*table.Table, error)
+
+	Win          Window
+	DaysPerMonth int
+	// Workers caps how many shards build concurrently (0 = GOMAXPROCS).
+	// More workers = more speed and proportionally more peak memory.
+	Workers int
+
+	// Groups selects the feature groups to build. F9 is rejected here: the
+	// second-order featurizer is a trained model applied to the merged
+	// frame, so the pipeline layer applies it after this build returns.
+	Groups []Group
+	// GraphIn seeds label propagation when a graph group is requested.
+	GraphIn GraphFeatureInput
+	// Complaints and Search must be fitted featurizers when F7 / F8 are
+	// requested (topic models are fitted on a merged corpus, not per shard).
+	Complaints *TopicFeaturizer
+	Search     *TopicFeaturizer
+}
+
+// ShardStats reports what a sharded build consumed.
+type ShardStats struct {
+	Shards  int
+	RawRows int64 // total raw-table rows streamed across all shards
+}
+
+// BuildShardedFrame assembles the wide table shard by shard and merges the
+// per-shard results into one frame over the full customer universe.
+//
+// The output is bit-identical for any shard count and any worker count:
+// per-customer aggregates (F1-F3, F7, F8) are shard-local because customers
+// are hash-partitioned, and the graph groups (F4-F6) merge through
+// GraphAccumulator's canonical order-independent reduction. Column order
+// matches the in-memory pipeline build: base groups, graph groups, topic
+// groups, each in canonical group order.
+func BuildShardedFrame(spec ShardedBuildSpec) (*Frame, ShardStats, error) {
+	stats := ShardStats{Shards: spec.Shards}
+	if spec.Shards < 1 {
+		return nil, stats, fmt.Errorf("features: sharded build needs at least 1 shard, got %d", spec.Shards)
+	}
+	want := map[Group]bool{}
+	for _, g := range spec.Groups {
+		if g == F9SecondOrder {
+			return nil, stats, fmt.Errorf("features: F9 is applied to the merged frame, not built per shard")
+		}
+		want[g] = true
+	}
+	var baseGroups []Group
+	for _, g := range []Group{F1Baseline, F2CS, F3PS} {
+		if want[g] {
+			baseGroups = append(baseGroups, g)
+		}
+	}
+	if want[F7ComplaintTopics] && spec.Complaints == nil {
+		return nil, stats, fmt.Errorf("features: F7 requested but no fitted complaint featurizer")
+	}
+	if want[F8SearchTopics] && spec.Search == nil {
+		return nil, stats, fmt.Errorf("features: F8 requested but no fitted search featurizer")
+	}
+
+	// Pass 1: resolve the customer universe from the per-shard demographic
+	// snapshots. Cheap (customers only) and required before any event table
+	// is scanned: the graph builders' isCustomer predicate must see the
+	// whole universe, not one shard's slice of it.
+	shardIDs := make([][]int64, spec.Shards)
+	errs := make([]error, spec.Shards)
+	parallel.ForGrain(spec.Workers, spec.Shards, 1, func(s int) {
+		cust, err := spec.LoadCustomers(s)
+		if err != nil {
+			errs[s] = fmt.Errorf("features: load customers shard %d: %w", s, err)
+			return
+		}
+		snap := snapshotMonth(cust, spec.Win, spec.DaysPerMonth)
+		if snap.NumRows() > 0 {
+			shardIDs[s] = append([]int64(nil), snap.MustCol("imsi").Ints...)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	var all []int64
+	for _, ids := range shardIDs {
+		all = append(all, ids...)
+	}
+	if len(all) == 0 {
+		return nil, stats, fmt.Errorf("features: no customer snapshot for month %d", spec.Win.LastMonth(spec.DaysPerMonth))
+	}
+	uni := NewFrame(all)
+	isCustomer := func(id int64) bool {
+		_, ok := uni.index[id]
+		return ok || spec.GraphIn.PrevChurners[id]
+	}
+
+	// Pass 2: stream each shard's raw tables once, feeding the graph
+	// accumulator and building the shard-local per-customer columns. Inner
+	// builds run single-threaded when shards provide the parallelism, so
+	// worker count scales concurrent shard residency, not thread count².
+	wantGraph := want[F4CallGraph] || want[F5MessageGraph] || want[F6CooccurrenceGraph]
+	wantPerCustomer := len(baseGroups) > 0 || want[F7ComplaintTopics] || want[F8SearchTopics]
+	acc := NewGraphAccumulator(spec.Shards, spec.Groups)
+	shardFrames := make([]*Frame, spec.Shards)
+	innerWorkers := spec.Workers
+	if spec.Shards > 1 {
+		innerWorkers = 1
+	}
+	var rawRows int64
+	parallel.ForGrain(spec.Workers, spec.Shards, 1, func(s int) {
+		tbl, err := spec.Load(s)
+		if err != nil {
+			errs[s] = fmt.Errorf("features: load shard %d: %w", s, err)
+			return
+		}
+		for _, t := range []*table.Table{tbl.Calls, tbl.Messages, tbl.Recharges, tbl.Billing,
+			tbl.Customers, tbl.Complaints, tbl.Web, tbl.Search, tbl.Locations} {
+			atomic.AddInt64(&rawRows, int64(t.NumRows()))
+		}
+		if wantGraph {
+			// Every shard feeds the accumulator, even ones with no snapshot
+			// customers: their rows still carry edges to customers elsewhere.
+			acc.Feed(s, tbl, spec.Win, spec.DaysPerMonth, isCustomer)
+		}
+		if !wantPerCustomer || len(shardIDs[s]) == 0 {
+			return
+		}
+		bf, err := BuildBaseFeatures(tbl, spec.Win, spec.DaysPerMonth, innerWorkers)
+		if err != nil {
+			errs[s] = fmt.Errorf("features: build shard %d: %w", s, err)
+			return
+		}
+		sel := bf.SelectGroups(baseGroups...)
+		if want[F7ComplaintTopics] {
+			spec.Complaints.Apply(sel, tbl.Complaints, spec.Win, spec.DaysPerMonth)
+		}
+		if want[F8SearchTopics] {
+			spec.Search.Apply(sel, tbl.Search, spec.Win, spec.DaysPerMonth)
+		}
+		shardFrames[s] = sel
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.RawRows = rawRows
+
+	// Merge. Shard universes are disjoint, so every merged row maps to
+	// exactly one (shard, row); columns copy group by group in the canonical
+	// order of the in-memory build: [F1 F2 F3] graphs [F7 F8].
+	var ref *Frame
+	for _, sf := range shardFrames {
+		if sf != nil {
+			ref = sf
+			break
+		}
+	}
+	type rowLoc struct{ shard, row int32 }
+	var loc []rowLoc
+	if ref != nil {
+		loc = make([]rowLoc, uni.NumRows())
+		for i := range loc {
+			loc[i] = rowLoc{-1, -1}
+		}
+		for s, sf := range shardFrames {
+			if sf == nil {
+				continue
+			}
+			for r, id := range sf.ids {
+				i, ok := uni.index[id]
+				if !ok {
+					continue
+				}
+				loc[i] = rowLoc{int32(s), int32(r)}
+			}
+		}
+	}
+	copyGroups := func(keep ...Group) error {
+		if ref == nil {
+			return nil
+		}
+		keepSet := map[Group]bool{}
+		for _, g := range keep {
+			keepSet[g] = true
+		}
+		for j, name := range ref.names {
+			if !keepSet[ref.group[j]] {
+				continue
+			}
+			dense := make([]float64, uni.NumRows())
+			for i := range dense {
+				if l := loc[i]; l.shard >= 0 {
+					dense[i] = shardFrames[l.shard].x[l.row][j]
+				}
+			}
+			if err := uni.AddDense(ref.group[j], name, dense); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := copyGroups(F1Baseline, F2CS, F3PS); err != nil {
+		return nil, stats, err
+	}
+	if wantGraph {
+		call, msg, cooc := acc.Finalize()
+		scoreGraphsInto(uni, [3]*graph.Graph{call, msg, cooc}, spec.GraphIn, spec.Workers)
+	}
+	if err := copyGroups(F7ComplaintTopics, F8SearchTopics); err != nil {
+		return nil, stats, err
+	}
+	return uni, stats, nil
+}

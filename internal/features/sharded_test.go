@@ -1,0 +1,203 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"telcochurn/internal/table"
+	"telcochurn/internal/topic"
+)
+
+// shardTables hash-partitions every raw table by customer key, standing in
+// for per-shard warehouse reads.
+func shardTables(t *testing.T, tbl Tables, shards int) []Tables {
+	t.Helper()
+	split := func(src *table.Table) []*table.Table {
+		parts, err := table.PartitionByHash(src, "imsi", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parts
+	}
+	calls := split(tbl.Calls)
+	msgs := split(tbl.Messages)
+	rech := split(tbl.Recharges)
+	bill := split(tbl.Billing)
+	cust := split(tbl.Customers)
+	comp := split(tbl.Complaints)
+	web := split(tbl.Web)
+	search := split(tbl.Search)
+	loc := split(tbl.Locations)
+	out := make([]Tables, shards)
+	for s := 0; s < shards; s++ {
+		out[s] = Tables{
+			Calls: calls[s], Messages: msgs[s], Recharges: rech[s],
+			Billing: bill[s], Customers: cust[s], Complaints: comp[s],
+			Web: web[s], Search: search[s], Locations: loc[s],
+		}
+	}
+	return out
+}
+
+func framesBitIdentical(t *testing.T, a, b *Frame, context string) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumColumns() != b.NumColumns() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", context, a.NumRows(), a.NumColumns(), b.NumRows(), b.NumColumns())
+	}
+	an, bn := a.Names(), b.Names()
+	ag, bg := a.Groups(), b.Groups()
+	for j := range an {
+		if an[j] != bn[j] || ag[j] != bg[j] {
+			t.Fatalf("%s: column %d is %s/%s vs %s/%s", context, j, an[j], ag[j], bn[j], bg[j])
+		}
+	}
+	for i, id := range a.IDs() {
+		if b.IDs()[i] != id {
+			t.Fatalf("%s: row %d id %d vs %d", context, i, id, b.IDs()[i])
+		}
+		ra, _ := a.Row(id)
+		rb, _ := b.Row(id)
+		for j := range ra {
+			if math.Float64bits(ra[j]) != math.Float64bits(rb[j]) {
+				t.Fatalf("%s: id %d col %q: %v vs %v (not bit-identical)",
+					context, id, an[j], ra[j], rb[j])
+			}
+		}
+	}
+}
+
+func shardedSpec(t *testing.T, tbl Tables, shards, workers int, win Window, days int, groups []Group) ShardedBuildSpec {
+	t.Helper()
+	parts := shardTables(t, tbl, shards)
+	return ShardedBuildSpec{
+		Shards:        shards,
+		Load:          func(s int) (Tables, error) { return parts[s], nil },
+		LoadCustomers: func(s int) (*table.Table, error) { return parts[s].Customers, nil },
+		Win:           win,
+		DaysPerMonth:  days,
+		Workers:       workers,
+		Groups:        groups,
+	}
+}
+
+func TestBuildShardedFrameInvariantAcrossShardsAndWorkers(t *testing.T) {
+	months, cfg := simOnce(t)
+	tbl, err := FromMonthData(months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := MonthWindow(2, cfg.DaysPerMonth)
+	in := GraphFeatureInput{
+		PrevChurners: ChurnersOf(months[1].Truth),
+		StableSample: StableOf(months[1].Truth, 10),
+	}
+	groups := []Group{F1Baseline, F2CS, F3PS, F4CallGraph, F5MessageGraph, F6CooccurrenceGraph}
+	var ref *Frame
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 8} {
+			spec := shardedSpec(t, tbl, shards, workers, win, cfg.DaysPerMonth, groups)
+			spec.GraphIn = in
+			got, stats, err := BuildShardedFrame(spec)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			if stats.Shards != shards || stats.RawRows == 0 {
+				t.Fatalf("shards=%d: stats = %+v", shards, stats)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			framesBitIdentical(t, ref, got, "shards/workers variation")
+		}
+	}
+	if n := ref.NumColumns(); n != 70+9+25+6 {
+		t.Fatalf("sharded frame has %d columns, want 110", n)
+	}
+}
+
+func TestBuildShardedFrameBaseMatchesInMemoryBitwise(t *testing.T) {
+	months, cfg := simOnce(t)
+	tbl, err := FromMonthData(months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := MonthWindow(2, cfg.DaysPerMonth)
+
+	// F1-F3 and the topic groups are per-customer aggregates, so the sharded
+	// build must reproduce the in-memory build bit for bit.
+	comp, err := FitTopicFeaturizer(tbl.Complaints, win, cfg.DaysPerMonth, F7ComplaintTopics, "complaint", topic.Config{K: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	search, err := FitTopicFeaturizer(tbl.Search, win, cfg.DaysPerMonth, F8SearchTopics, "search", topic.Config{K: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildBaseFeatures(tbl, win, cfg.DaysPerMonth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.SelectGroups(F1Baseline, F2CS, F3PS)
+	comp.Apply(want, tbl.Complaints, win, cfg.DaysPerMonth)
+	search.Apply(want, tbl.Search, win, cfg.DaysPerMonth)
+
+	spec := shardedSpec(t, tbl, 4, 2, win, cfg.DaysPerMonth,
+		[]Group{F1Baseline, F2CS, F3PS, F7ComplaintTopics, F8SearchTopics})
+	spec.Complaints = comp
+	spec.Search = search
+	got, _, err := BuildShardedFrame(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framesBitIdentical(t, want, got, "sharded vs in-memory")
+}
+
+func TestBuildShardedFrameGraphColumnsPopulated(t *testing.T) {
+	months, cfg := simOnce(t)
+	tbl, err := FromMonthData(months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := MonthWindow(2, cfg.DaysPerMonth)
+	spec := shardedSpec(t, tbl, 4, 2, win, cfg.DaysPerMonth, []Group{F4CallGraph})
+	spec.GraphIn = GraphFeatureInput{
+		PrevChurners: ChurnersOf(months[1].Truth),
+		StableSample: StableOf(months[1].Truth, 10),
+	}
+	got, _, err := BuildShardedFrame(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Names()
+	if len(names) != 2 || names[0] != "pagerank_voice" || names[1] != "labelpropagation_voice" {
+		t.Fatalf("graph-only frame columns = %v", names)
+	}
+	var nonZero int
+	for _, id := range got.IDs() {
+		row, _ := got.Row(id)
+		if row[0] != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("every pagerank value is zero — graph never built")
+	}
+}
+
+func TestBuildShardedFrameRejectsF9AndMissingFeaturizer(t *testing.T) {
+	months, cfg := simOnce(t)
+	tbl, err := FromMonthData(months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := MonthWindow(2, cfg.DaysPerMonth)
+	spec := shardedSpec(t, tbl, 2, 1, win, cfg.DaysPerMonth, []Group{F1Baseline, F9SecondOrder})
+	if _, _, err := BuildShardedFrame(spec); err == nil {
+		t.Fatal("F9 accepted in sharded build")
+	}
+	spec = shardedSpec(t, tbl, 2, 1, win, cfg.DaysPerMonth, []Group{F7ComplaintTopics})
+	if _, _, err := BuildShardedFrame(spec); err == nil {
+		t.Fatal("F7 without a fitted featurizer accepted")
+	}
+}

@@ -1,0 +1,298 @@
+package features
+
+import (
+	"sort"
+
+	"telcochurn/internal/graph"
+	"telcochurn/internal/parallel"
+)
+
+// Canonical graph accumulation for the sharded wide-table build.
+//
+// The in-memory builders (BuildCallGraph etc.) insert edges in raw row
+// order, which fixes the adjacency fold order of PageRank and label
+// propagation — fine for one table, but row order depends on how rows were
+// partitioned, so a shard-by-shard build could never match itself across
+// shard counts. The accumulator instead collects shard-local partials whose
+// merge is order-independent, then materializes each graph canonically:
+// vertices and edges inserted in sorted-id order, every edge weight reduced
+// in a fixed direction order. The result is bit-identical for any shard
+// count and any worker count (including a single shard), at the price of
+// diverging bitwise from the row-order in-memory builders — the per-column
+// divergence is the adjacency fold order, not the graph itself.
+//
+// Why the partials merge exactly:
+//
+//   - Call/message partials are per-DIRECTED-edge sums keyed (caller,
+//     callee). A caller's rows live in the caller's shard in original row
+//     order, so each directed partial is computed from the same values in
+//     the same order whatever the shard count — the merged map is identical,
+//     and the undirected weight folds the two directions in fixed
+//     (min-id, max-id) order.
+//   - Co-occurrence cube membership keeps the cubeCap smallest customer ids
+//     per cube (a semilattice: the min-k of a union is independent of merge
+//     order), replacing the in-memory builder's first-k-in-row-order cap.
+const cooccurrenceCubeCap = 30
+
+type dirEdge struct{ from, to int64 }
+
+type cubeKey struct{ abs, slot, cell int64 }
+
+type graphPartials struct {
+	call  map[dirEdge]float64
+	msg   map[dirEdge]float64
+	cubes map[cubeKey][]int64 // sorted ascending, <= cooccurrenceCubeCap ids
+}
+
+// GraphAccumulator merges shard-local graph partials into the canonical
+// F4-F6 graphs. Feed each shard's tables (any order, one goroutine per shard
+// is safe — partials are per-shard), then Finalize once.
+type GraphAccumulator struct {
+	wantCall, wantMsg, wantCooc bool
+	parts                       []graphPartials
+}
+
+// NewGraphAccumulator sizes an accumulator for the given shard count,
+// collecting only the graphs backing the requested groups.
+func NewGraphAccumulator(shards int, groups []Group) *GraphAccumulator {
+	a := &GraphAccumulator{parts: make([]graphPartials, shards)}
+	for _, g := range groups {
+		switch g {
+		case F4CallGraph:
+			a.wantCall = true
+		case F5MessageGraph:
+			a.wantMsg = true
+		case F6CooccurrenceGraph:
+			a.wantCooc = true
+		}
+	}
+	for i := range a.parts {
+		if a.wantCall {
+			a.parts[i].call = map[dirEdge]float64{}
+		}
+		if a.wantMsg {
+			a.parts[i].msg = map[dirEdge]float64{}
+		}
+		if a.wantCooc {
+			a.parts[i].cubes = map[cubeKey][]int64{}
+		}
+	}
+	return a
+}
+
+// Feed accumulates one shard's slice of the raw tables. Row filters mirror
+// the in-memory builders exactly; isCustomer must be the same universe-or-
+// previous-churner predicate AddGraphFeatures uses, over the FULL merged
+// universe — which is why the sharded build resolves the universe before
+// loading event tables.
+func (a *GraphAccumulator) Feed(shard int, tbl Tables, win Window, daysPerMonth int, isCustomer func(int64) bool) {
+	p := &a.parts[shard]
+	if a.wantCall {
+		calls := tbl.Calls
+		inWin := inWindow(calls, win, daysPerMonth)
+		imsi := calls.MustCol("imsi").Ints
+		peer := calls.MustCol("peer").Ints
+		dur := calls.MustCol("dur").Floats
+		success := calls.MustCol("success").Ints
+		svc := calls.MustCol("svc").Ints
+		for i := 0; i < calls.NumRows(); i++ {
+			if !inWin(i) || success[i] != 1 || svc[i] == 1 || dur[i] <= 0 {
+				continue
+			}
+			if !isCustomer(peer[i]) {
+				continue
+			}
+			p.call[dirEdge{imsi[i], peer[i]}] += dur[i]
+		}
+	}
+	if a.wantMsg {
+		msgs := tbl.Messages
+		inWin := inWindow(msgs, win, daysPerMonth)
+		imsi := msgs.MustCol("imsi").Ints
+		peer := msgs.MustCol("peer").Ints
+		kind := msgs.MustCol("kind").Ints
+		for i := 0; i < msgs.NumRows(); i++ {
+			if !inWin(i) || kind[i] != 0 {
+				continue
+			}
+			if !isCustomer(peer[i]) {
+				continue
+			}
+			p.msg[dirEdge{imsi[i], peer[i]}]++
+		}
+	}
+	if a.wantCooc {
+		loc := tbl.Locations
+		inWin := inWindow(loc, win, daysPerMonth)
+		imsi := loc.MustCol("imsi").Ints
+		day := loc.MustCol("day").Ints
+		month := loc.MustCol("month").Ints
+		slot := loc.MustCol("slot").Ints
+		cell := loc.MustCol("cell").Ints
+		for i := 0; i < loc.NumRows(); i++ {
+			if !inWin(i) || !isCustomer(imsi[i]) {
+				continue
+			}
+			c := cubeKey{abs: month[i]*64 + day[i], slot: slot[i], cell: cell[i]}
+			p.cubes[c] = insertCapped(p.cubes[c], imsi[i], cooccurrenceCubeCap)
+		}
+	}
+}
+
+// insertCapped inserts id into the sorted set m, keeping only the cap
+// smallest members. The min-cap of a union is merge-order independent, which
+// is what makes cube membership shard-count invariant.
+func insertCapped(m []int64, id int64, cap int) []int64 {
+	i := sort.Search(len(m), func(j int) bool { return m[j] >= id })
+	if i < len(m) && m[i] == id {
+		return m
+	}
+	if len(m) >= cap {
+		if i >= cap {
+			return m
+		}
+		copy(m[i+1:], m[i:len(m)-1])
+		m[i] = id
+		return m
+	}
+	m = append(m, 0)
+	copy(m[i+1:], m[i:len(m)-1])
+	m[i] = id
+	return m
+}
+
+// mergeCapped merges two sorted capped sets, keeping the cap smallest.
+func mergeCapped(a, b []int64, cap int) []int64 {
+	if len(a) == 0 {
+		return append([]int64(nil), b...)
+	}
+	out := make([]int64, 0, min(len(a)+len(b), cap))
+	i, j := 0, 0
+	for len(out) < cap && (i < len(a) || j < len(b)) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Finalize materializes the requested graphs (nil for groups not collected).
+// Vertices appear in ascending-id order of their first sorted edge and edges
+// insert in sorted (min-id, max-id) order, so downstream PageRank and label
+// propagation fold adjacencies in a canonical order.
+func (a *GraphAccumulator) Finalize() (call, msg, cooc *graph.Graph) {
+	if a.wantCall {
+		call = a.finalizeDirected(func(p *graphPartials) map[dirEdge]float64 { return p.call })
+	}
+	if a.wantMsg {
+		msg = a.finalizeDirected(func(p *graphPartials) map[dirEdge]float64 { return p.msg })
+	}
+	if a.wantCooc {
+		cooc = a.finalizeCooccurrence()
+	}
+	return call, msg, cooc
+}
+
+func (a *GraphAccumulator) finalizeDirected(sel func(*graphPartials) map[dirEdge]float64) *graph.Graph {
+	merged := map[dirEdge]float64{}
+	for i := range a.parts {
+		for e, w := range sel(&a.parts[i]) {
+			merged[e] += w
+		}
+	}
+	pairs := make([]dirEdge, 0, len(merged))
+	seen := map[dirEdge]bool{}
+	for e := range merged {
+		u := dirEdge{min(e.from, e.to), max(e.from, e.to)}
+		if !seen[u] {
+			seen[u] = true
+			pairs = append(pairs, u)
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].from != pairs[y].from {
+			return pairs[x].from < pairs[y].from
+		}
+		return pairs[x].to < pairs[y].to
+	})
+	g := graph.New()
+	for _, u := range pairs {
+		w := merged[dirEdge{u.from, u.to}]
+		if u.from != u.to {
+			w += merged[dirEdge{u.to, u.from}]
+		}
+		g.AddEdge(u.from, u.to, w)
+	}
+	return g
+}
+
+func (a *GraphAccumulator) finalizeCooccurrence() *graph.Graph {
+	merged := map[cubeKey][]int64{}
+	for i := range a.parts {
+		for c, ids := range a.parts[i].cubes {
+			merged[c] = mergeCapped(merged[c], ids, cooccurrenceCubeCap)
+		}
+	}
+	weights := map[dirEdge]float64{}
+	for _, m := range merged {
+		// Members are sorted, so every pair is already (min-id, max-id);
+		// integer counts make the accumulation order irrelevant.
+		for x := 0; x < len(m); x++ {
+			for y := x + 1; y < len(m); y++ {
+				weights[dirEdge{m[x], m[y]}]++
+			}
+		}
+	}
+	pairs := make([]dirEdge, 0, len(weights))
+	for e := range weights {
+		pairs = append(pairs, e)
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].from != pairs[y].from {
+			return pairs[x].from < pairs[y].from
+		}
+		return pairs[x].to < pairs[y].to
+	})
+	g := graph.New()
+	for _, e := range pairs {
+		g.AddEdge(e.from, e.to, weights[e])
+	}
+	return g
+}
+
+// scoreGraphsInto computes the graph feature columns for prebuilt canonical
+// graphs (nil = group not requested) and adds the requested columns to f in
+// canonical F4, F5, F6 order with the same names and imputation defaults as
+// AddGraphFeatures.
+func scoreGraphsInto(f *Frame, graphs [3]*graph.Graph, in GraphFeatureInput, workers int) {
+	suffixes := [3]string{"voice", "message", "cooccurrence"}
+	groups := [3]Group{F4CallGraph, F5MessageGraph, F6CooccurrenceGraph}
+	seeds := seedMap(in)
+	type graphCols struct {
+		pr, lp map[int64]float64
+	}
+	var results [3]graphCols
+	parallel.ForGrain(workers, len(graphs), 1, func(i int) {
+		if graphs[i] == nil {
+			return
+		}
+		pr, lp := scoreGraph(graphs[i], seeds, workers)
+		results[i] = graphCols{pr: pr, lp: lp}
+	})
+	for i := range graphs {
+		if graphs[i] == nil {
+			continue
+		}
+		f.AddColumn(groups[i], "pagerank_"+suffixes[i], results[i].pr, 0)
+		f.AddColumn(groups[i], "labelpropagation_"+suffixes[i], results[i].lp, 0.5)
+	}
+}

@@ -1,0 +1,40 @@
+// Package procstat reads process resource statistics for memory-budget
+// gates (the scale smoke test's RSS ceiling and the sharded build
+// benchmarks). Linux-only fields degrade to "unavailable" elsewhere.
+package procstat
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes returns the process's high-water resident set size (VmHWM)
+// and whether it could be determined. The peak is tracked by the kernel
+// from process start, so it captures allocation spikes GC has since
+// returned — exactly what an out-of-core memory budget must bound.
+func PeakRSSBytes() (int64, bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, "VmHWM:"))
+		if len(fields) < 2 || fields[1] != "kB" {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}

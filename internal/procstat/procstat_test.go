@@ -1,0 +1,21 @@
+package procstat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSSBytes(t *testing.T) {
+	peak, ok := PeakRSSBytes()
+	if runtime.GOOS != "linux" {
+		t.Skipf("VmHWM is linux-only (got ok=%v)", ok)
+	}
+	if !ok {
+		t.Fatal("PeakRSSBytes unavailable on linux")
+	}
+	// A running Go test binary occupies at least a megabyte and far less
+	// than a terabyte; anything outside that is a parse bug.
+	if peak < 1<<20 || peak > 1<<40 {
+		t.Fatalf("peak RSS = %d bytes, implausible", peak)
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Layout:
 //
-//	<root>/<tableName>/month=<n>.tct
+//	<root>/<tableName>/month=<n>.tct                  (plain, single shard)
+//	<root>/<tableName>/month=<n>.shard=<s>of<N>.tct   (hash-sharded, see sharded.go)
 //
 // Each .tct (telco columnar table) file is:
 //
@@ -25,12 +26,11 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 
 	"telcochurn/internal/table"
 )
@@ -137,18 +137,8 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("store: refusing to write invalid table: %w", err)
 	}
-	if months, err := w.Months(name); err == nil && len(months) > 0 {
-		probe := months[0]
-		if probe == month && len(months) > 1 {
-			probe = months[1]
-		}
-		if probe != month {
-			existing, err := w.ReadPartition(name, probe)
-			if err == nil && !existing.Schema.Equal(t.Schema) {
-				return fmt.Errorf("store: schema mismatch for table %q: partition month=%d has %s, new partition has %s",
-					name, probe, existing.Schema, t.Schema)
-			}
-		}
+	if err := w.checkPartitionSchema(name, month, t); err != nil {
+		return err
 	}
 	if err := w.runHook(OpWritePartition, name, month); err != nil {
 		var cr *Crash
@@ -157,7 +147,12 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 		}
 		return err
 	}
-	return atomicWrite(filepath.Join(w.root, name), w.partitionPath(name, month), t)
+	if err := atomicWrite(filepath.Join(w.root, name), w.partitionPath(name, month), t); err != nil {
+		return err
+	}
+	// The plain file now wins every read; drop shard sets it supersedes.
+	w.removeShardFiles(name, month, 0)
+	return nil
 }
 
 // atomicWrite is the warehouse commit protocol: write a temp file in the
@@ -218,30 +213,34 @@ func (w *Warehouse) crashingWrite(cr *Crash, dir, dst string, t *table.Table) er
 	return cr
 }
 
-// ReadPartition loads partition month of the named table.
+// ReadPartition loads partition month of the named table, whatever its
+// on-disk layout: the plain single file, or a committed shard set
+// concatenated in ascending shard order (see sharded.go for the resolution
+// rule).
 func (w *Warehouse) ReadPartition(name string, month int) (*table.Table, error) {
 	if err := w.runHook(OpReadPartition, name, month); err != nil {
 		return nil, err
 	}
-	f, err := os.Open(w.partitionPath(name, month))
+	t, err := w.readMonth(name, month)
 	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	t, err := readTable(f)
-	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("store: read %s month=%d: %w", name, month, err)
 	}
 	return t, nil
 }
 
-// HasPartition reports whether the partition exists.
+// HasPartition reports whether the partition has a committed layout — a
+// plain file or a complete shard set.
 func (w *Warehouse) HasPartition(name string, month int) bool {
-	_, err := os.Stat(w.partitionPath(name, month))
-	return err == nil
+	lay, err := w.layoutOf(name, month)
+	return err == nil && lay.committed()
 }
 
-// Months lists the partition months present for the named table, ascending.
+// Months lists the committed partition months for the named table,
+// ascending. A month counts whether it is stored plain or as a complete
+// shard set; an incomplete shard set is an uncommitted write and is skipped.
 func (w *Warehouse) Months(name string) ([]int, error) {
 	entries, err := os.ReadDir(filepath.Join(w.root, name))
 	if err != nil {
@@ -250,17 +249,36 @@ func (w *Warehouse) Months(name string) ([]int, error) {
 		}
 		return nil, err
 	}
-	var months []int
+	plain := map[int]bool{}
+	sets := map[int]map[int]int{} // month -> shard count -> files present
 	for _, e := range entries {
-		base := e.Name()
-		if !strings.HasPrefix(base, "month=") || !strings.HasSuffix(base, ".tct") {
+		p, ok := parsePartName(e.Name())
+		if !ok {
 			continue
 		}
-		m, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "month="), ".tct"))
-		if err != nil {
-			continue
+		if p.of == 1 {
+			plain[p.month] = true
+		} else {
+			if sets[p.month] == nil {
+				sets[p.month] = map[int]int{}
+			}
+			sets[p.month][p.of]++
 		}
+	}
+	var months []int
+	for m := range plain {
 		months = append(months, m)
+	}
+	for m, byOf := range sets {
+		if plain[m] {
+			continue
+		}
+		for of, n := range byOf {
+			if n == of {
+				months = append(months, m)
+				break
+			}
+		}
 	}
 	sort.Ints(months)
 	return months, nil

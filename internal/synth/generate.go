@@ -24,15 +24,33 @@ func (md *MonthData) Tables() map[string]*table.Table {
 	}
 }
 
+// partitionWriter is the landing surface the generator writes through — the
+// plain warehouse or a sharded view of one.
+type partitionWriter interface {
+	WritePartition(name string, month int, t *table.Table) error
+}
+
 // GenerateToWarehouse simulates cfg.Months months and writes every raw table
 // as month partitions into the warehouse — the equivalent of the paper's
 // daily ETL landing BSS/OSS tables in HDFS.
 func GenerateToWarehouse(cfg Config, wh *store.Warehouse) error {
+	return generateTo(cfg, wh)
+}
+
+// GenerateToShardedWarehouse is GenerateToWarehouse landing each month as
+// hash-sharded partitions, for out-of-core builds. The simulation itself is
+// identical: the same config and seed produce the same rows whatever the
+// shard count.
+func GenerateToShardedWarehouse(cfg Config, sw *store.ShardedWarehouse) error {
+	return generateTo(cfg, sw)
+}
+
+func generateTo(cfg Config, dst partitionWriter) error {
 	w := NewWorld(cfg)
 	for i := 0; i < w.cfg.Months; i++ {
 		md := w.SimulateMonth()
 		for name, t := range md.Tables() {
-			if err := wh.WritePartition(name, md.Month, t); err != nil {
+			if err := dst.WritePartition(name, md.Month, t); err != nil {
 				return fmt.Errorf("synth: write %s month %d: %w", name, md.Month, err)
 			}
 		}
