@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-compare bench-profile chaos e2e scale-smoke ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-compare bench-profile chaos e2e loadtest scale-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -40,19 +40,24 @@ bench-smoke:
 
 # Machine-readable benchmark report (ns/op, B/op, allocs/op as JSON), for
 # committing alongside perf PRs and diffing in CI. BENCH ?= regex, OUT ?= file.
-BENCH ?= BenchmarkTableGroupBy|BenchmarkTableHashJoin|BenchmarkWideTableBuild|BenchmarkShardedWideTableBuild
+# The set always includes the serve-path benches next to the table-engine
+# ones, so every report from BENCH_7.json onward is a superset of the old
+# table-only reports.
+BENCH ?= BenchmarkTableGroupBy|BenchmarkTableHashJoin|BenchmarkWideTableBuild|BenchmarkShardedWideTableBuild|BenchmarkServeScore
 OUT ?= BENCH.json
 bench-json:
-	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -benchtime 2s -pkg . -out $(OUT)
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -benchtime 2s -pkg ./... -out $(OUT)
 
 # Regression gate: fail if any benchmark tracked by the committed baseline
-# got slower than BASELINE x TOLERANCE. Refresh the baseline deliberately
-# (make bench-json OUT=BENCH_6.json on a quiet machine) when perf changes
-# are intentional.
-BASELINE ?= BENCH_6.json
+# got slower than BASELINE x TOLERANCE, or if a serve-path benchmark starts
+# allocating more than the baseline (the single-score path is pinned at 0
+# allocs/op). Refresh the baseline deliberately (make bench-json
+# OUT=BENCH_7.json on a quiet machine) when perf changes are intentional.
+BASELINE ?= BENCH_7.json
 TOLERANCE ?= 1.5x
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) $(BASELINE) $(OUT)
+	$(GO) run ./cmd/benchjson -compare -tolerance $(TOLERANCE) \
+		-gate-allocs 'BenchmarkServeScore' $(BASELINE) $(OUT)
 
 # CPU + heap profiles of the tree-training benchmarks; inspect with
 # `go tool pprof cpu.out` / `go tool pprof mem.out` (see DESIGN.md §8).
@@ -75,6 +80,12 @@ chaos:
 e2e:
 	bash scripts/e2e.sh
 
+# Serving load smoke: train a tiny precomputed artifact, start churnd, drive
+# an open-loop churnload run and self-gate on p99 latency and non-2xx rate.
+# LOAD_RPS / LOAD_DURATION / LOAD_MAX_P99 override the defaults.
+loadtest:
+	bash scripts/loadtest.sh
+
 # Out-of-core scale smoke: generate a runner-budget sharded warehouse, run
 # the F1-F6 wide-table build shard by shard in a fresh process, and fail if
 # peak RSS exceeds the declared ceiling. SCALE_CUSTOMERS / SCALE_SHARDS /
@@ -83,7 +94,7 @@ scale-smoke:
 	bash scripts/scale_smoke.sh
 
 # Everything the CI workflow checks, in the same order.
-ci: build vet fmt-check test-race chaos bench-smoke scale-smoke e2e
+ci: build vet fmt-check test-race chaos bench-smoke scale-smoke e2e loadtest
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:
@@ -98,4 +109,5 @@ examples:
 	$(GO) run ./examples/root_cause
 
 clean:
-	rm -rf warehouse churn-model.bin churn-model.tcpa cpu.out mem.out telcochurn.test
+	rm -rf warehouse churn-model.bin churn-model.tcpa cpu.out mem.out telcochurn.test \
+		BENCH_CI.json LOAD.json

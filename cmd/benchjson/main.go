@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,10 +57,11 @@ func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	compareMode := flag.Bool("compare", false, "compare two reports (old.json new.json) instead of running benchmarks")
 	tolerance := flag.String("tolerance", "1.5x", "allowed ns/op slowdown factor in -compare mode (e.g. 1.5 or 1.5x)")
+	gateAllocs := flag.String("gate-allocs", "", "in -compare mode, fail benchmarks matching this regex whose allocs/op exceed the baseline")
 	flag.Parse()
 
 	if *compareMode {
-		if err := compare(flag.Args(), *tolerance); err != nil {
+		if err := compare(flag.Args(), *tolerance, *gateAllocs); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -90,16 +92,24 @@ func main() {
 
 // compare loads a baseline and a fresh report and fails on regressions:
 // every baseline benchmark must still exist, and none may exceed
-// baseline ns/op x tolerance. New benchmarks absent from the baseline pass
-// (they gate once the baseline is refreshed). Runner noise is expected —
-// pick a tolerance generous enough for the CI machine class.
-func compare(paths []string, tolerance string) error {
+// baseline ns/op x tolerance. New benchmarks absent from the baseline warn
+// but pass — they gate once the baseline is refreshed, and the warning is
+// the reminder to refresh it. With -gate-allocs, benchmarks matching the
+// regex additionally fail when allocs/op exceed the baseline (timing has
+// runner noise; allocation counts are deterministic, so they gate exactly).
+func compare(paths []string, tolerance, gateAllocs string) error {
 	if len(paths) != 2 {
 		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
 	}
 	tol, err := strconv.ParseFloat(strings.TrimSuffix(tolerance, "x"), 64)
 	if err != nil || tol <= 0 {
 		return fmt.Errorf("bad -tolerance %q (want e.g. 1.5 or 1.5x)", tolerance)
+	}
+	var allocRe *regexp.Regexp
+	if gateAllocs != "" {
+		if allocRe, err = regexp.Compile(gateAllocs); err != nil {
+			return fmt.Errorf("bad -gate-allocs %q: %w", gateAllocs, err)
+		}
 	}
 	load := func(path string) (map[string]Result, error) {
 		buf, err := os.ReadFile(path)
@@ -144,8 +154,23 @@ func compare(paths []string, tolerance string) error {
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.0f at %gx)",
 				name, cur.NsPerOp, base.NsPerOp, limit, tol))
 		}
+		if allocRe != nil && allocRe.MatchString(name) && cur.AllocsPerOp > base.AllocsPerOp {
+			verdict = "ALLOC REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				name, cur.AllocsPerOp, base.AllocsPerOp))
+		}
 		fmt.Printf("%-60s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n",
 			name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp, verdict)
+	}
+	var fresh []string
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Printf("warning: %s missing from baseline — passes ungated until the baseline is refreshed\n", name)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past %gx:\n  %s",

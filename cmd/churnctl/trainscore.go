@@ -76,6 +76,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "parallelism for feature build and training (0 = all cores)")
 	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
+	precompute := fs.Bool("precompute", false, "embed the latest month's feature vectors in the artifact (serve without a warehouse)")
 	fs.Parse(args)
 
 	groups, err := parseGroups(*groupSpec)
@@ -112,6 +113,23 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *precompute {
+		// The snapshot serves the same month scoring would pick by default:
+		// the latest customer snapshot, not the label-lagged training month.
+		wh, err := store.Open(*dir)
+		if err != nil {
+			return err
+		}
+		custMonths, err := wh.Months(synth.TableCustomers)
+		if err != nil || len(custMonths) == 0 {
+			return fmt.Errorf("precompute: no customer snapshots in %s", *dir)
+		}
+		serveMonth := custMonths[len(custMonths)-1]
+		if err := pipe.Precompute(src, features.MonthWindow(serveMonth, days), serveMonth); err != nil {
+			return fmt.Errorf("precompute month %d: %w", serveMonth, err)
+		}
+		fmt.Printf("precomputed %d serving vectors for month %d\n", pipe.Vectors().NumRows(), serveMonth)
+	}
 	if err := pipe.SaveFile(*out); err != nil {
 		return err
 	}
@@ -143,33 +161,54 @@ func cmdScore(args []string) error {
 		return err
 	}
 	pipe.SetWorkers(*workers)
-	wh, err := store.Open(*dir)
-	if err != nil {
-		return err
-	}
-	// Scoring needs no labels, so the customer snapshot — the one table
-	// degraded mode cannot impute — anchors month discovery.
-	monthsAvail, err := wh.Months(synth.TableCustomers)
-	if err != nil || len(monthsAvail) == 0 {
-		return fmt.Errorf("empty warehouse %s (run churnctl generate)", *dir)
+	vecs := pipe.Vectors()
+
+	// The warehouse is optional when the artifact carries a precomputed
+	// snapshot, so open it tolerantly and remember why it is unusable.
+	var monthsAvail []int
+	wh, whErr := store.Open(*dir)
+	if whErr == nil {
+		// Scoring needs no labels, so the customer snapshot — the one table
+		// degraded mode cannot impute — anchors month discovery.
+		monthsAvail, whErr = wh.Months(synth.TableCustomers)
+		if whErr == nil && len(monthsAvail) == 0 {
+			whErr = fmt.Errorf("empty warehouse %s (run churnctl generate)", *dir)
+		}
 	}
 	days := synth.DefaultConfig().DaysPerMonth
 	m := *month
 	if m == 0 {
-		m = monthsAvail[len(monthsAvail)-1]
+		switch {
+		case whErr == nil:
+			m = monthsAvail[len(monthsAvail)-1]
+		case vecs != nil:
+			m = vecs.Month()
+		default:
+			return whErr
+		}
 	}
-	src := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
-		MaxAttempts: *retries,
-		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
-			fmt.Fprintf(os.Stderr, "score: retrying %s (attempt %d, backoff %v): %v\n", op, attempt, delay, err)
-		},
-	})
 
 	var res *core.Predictions
-	if *degraded {
-		res, err = pipe.PredictDegraded(src, features.MonthWindow(m, days))
+	if vecs != nil && vecs.Month() == m && !*degraded {
+		// The snapshot holds the strict frame rows for this month, so
+		// scoring it skips the warehouse entirely and stays bit-identical
+		// to the frame path (and to churnd over the same artifact).
+		res, err = pipe.PredictVectors()
 	} else {
-		res, err = pipe.Predict(src, features.MonthWindow(m, days))
+		if whErr != nil {
+			return whErr
+		}
+		src := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
+			MaxAttempts: *retries,
+			OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+				fmt.Fprintf(os.Stderr, "score: retrying %s (attempt %d, backoff %v): %v\n", op, attempt, delay, err)
+			},
+		})
+		if *degraded {
+			res, err = pipe.PredictDegraded(src, features.MonthWindow(m, days))
+		} else {
+			res, err = pipe.Predict(src, features.MonthWindow(m, days))
+		}
 	}
 	if err != nil {
 		return err

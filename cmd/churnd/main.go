@@ -8,13 +8,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/score   {"id":N} or {"ids":[N,...]} -> churn scores
-//	GET  /healthz    liveness + model identity (200 while the process is up)
-//	GET  /readyz     readiness (503 + Retry-After until a frame is servable)
-//	GET  /metrics    request/batch/latency/cache/retry/degradation counters
+//	POST /v1/score      {"id":N} or {"ids":[N,...]} -> churn scores
+//	GET  /v1/customers  scorable customer ids (?limit=N caps the list)
+//	GET  /healthz       liveness + model identity (200 while the process is up)
+//	GET  /readyz        readiness (503 + Retry-After until scores are servable)
+//	GET  /metrics       request/latency (p50/p95/p99)/cache/retry/degradation
 //
-// Requests are micro-batched into the vectorized scoring path; scores are
-// bit-identical to `churnctl score` over the same artifact and month.
+// Serving path: artifacts carrying a precomputed feature-vector snapshot
+// (churnctl train -precompute) serve single scores synchronously — index
+// lookup plus a compiled-forest walk, zero allocations — with the warehouse
+// frame as fallback for customers outside the snapshot; batch requests
+// micro-batch onto per-core shards. Without a snapshot every vector comes
+// from the frame path. Either way scores are bit-identical to `churnctl
+// score` over the same artifact and month.
 //
 // Resilience: source reads retry with seeded-jitter backoff (-retries);
 // with -degraded the serving frame builds even when raw tables are missing
@@ -32,8 +38,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -54,17 +62,19 @@ func main() {
 	maxBatch := fs.Int("max-batch", 0, "largest micro-batch (0 = default 256)")
 	maxDelay := fs.Duration("max-delay", 0, "micro-batch linger (0 = default 2ms)")
 	queue := fs.Int("queue", 0, "pending-score queue bound (0 = default 4096)")
+	shards := fs.Int("shards", 0, "batching shards (0 = one per core)")
 	cacheTTL := fs.Duration("cache-ttl", 10*time.Minute, "feature-vector cache TTL (0 disables)")
 	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
 	degraded := fs.Bool("degraded", false, "serve even when raw tables are unavailable (impute their feature groups, report the mask)")
 	retries := fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)")
+	pprofAddr := fs.String("pprof", "", "mount net/http/pprof on this side address (empty = off)")
 	fs.Parse(os.Args[1:])
 
 	svc, err := buildService(serviceOpts{
 		artifact:  *artifact,
 		warehouse: *warehouse,
 		month:     *month,
-		cfg:       serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue},
+		cfg:       serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue, Shards: *shards},
 		cacheTTL:  *cacheTTL,
 		workers:   *workers,
 		degraded:  *degraded,
@@ -74,6 +84,17 @@ func main() {
 		log.Fatal("churnd: ", err)
 	}
 	defer svc.Close()
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serving that mux on a
+		// side listener keeps profiling off the scoring port.
+		go func() {
+			log.Printf("churnd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("churnd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,15 +114,15 @@ func main() {
 				log.Printf("churnd: reload rejected, previous engine keeps serving: %v", err)
 			} else {
 				e := svc.cur.Load()
-				log.Printf("churnd: reloaded %s (month %d, %d customers, degraded: %s)",
-					*artifact, e.month, e.prov.NumRows(), e.prov.Degradation())
+				log.Printf("churnd: reloaded %s (month %d, %d customers, %s path, degraded: %s)",
+					*artifact, e.month, e.rows, e.source, e.deg)
 			}
 		}
 	}()
 
 	e := svc.cur.Load()
-	log.Printf("churnd: serving %s (month %d, %d customers, schema %08x, degraded: %s) on %s",
-		e.model, e.month, e.prov.NumRows(), e.pipe.SchemaChecksum(), e.prov.Degradation(), *addr)
+	log.Printf("churnd: serving %s (month %d, %d customers, %s path, schema %08x, degraded: %s) on %s",
+		e.model, e.month, e.rows, e.source, e.pipe.SchemaChecksum(), e.deg, *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("churnd: ", err)
 	}
@@ -120,15 +141,21 @@ type serviceOpts struct {
 	retries   int
 }
 
-// engine is the hot-swappable serving unit: one artifact serving one
-// warehouse window. Reloads build a whole new engine and atomically replace
-// the pointer; in-flight requests finish on whichever engine they started.
+// engine is the hot-swappable serving unit: one artifact serving one month.
+// Reloads build a whole new engine and atomically replace the pointer;
+// in-flight requests finish on whichever engine they started.
 type engine struct {
 	pipe   *core.Pipeline
-	prov   *serve.FrameProvider
 	scorer *serve.Scorer
 	model  string
 	month  int
+	// source names the vector path in play: "vectors" (precomputed snapshot
+	// only), "frame" (warehouse build only), or "vectors+frame" (snapshot
+	// first, frame fallback for customers outside it).
+	source string
+	deg    features.Degradation
+	ids    []int64
+	rows   int
 }
 
 // service wires the current engine, the reload machinery and the metrics
@@ -153,8 +180,9 @@ func buildService(opts serviceOpts) (*service, error) {
 }
 
 // buildEngine assembles a fully validated engine from the current opts:
-// artifact loaded and decoded, warehouse opened, serving frame built. Any
-// failure leaves no side effects, which is what makes reload rollback free.
+// artifact loaded and decoded, vector source chosen, serving frame built
+// when the warehouse allows it. Any failure leaves no side effects, which is
+// what makes reload rollback free.
 func (s *service) buildEngine() (*engine, error) {
 	opts := s.opts
 	pipe, err := core.LoadFile(opts.artifact)
@@ -163,47 +191,97 @@ func (s *service) buildEngine() (*engine, error) {
 	}
 	pipe.SetWorkers(opts.workers)
 
-	wh, err := store.Open(opts.warehouse)
-	if err != nil {
-		return nil, err
-	}
-	// The customer snapshot anchors month discovery: it is the one table
-	// serving cannot impute around, so its months are the servable months.
-	monthsAvail, err := wh.Months(synth.TableCustomers)
-	if err != nil || len(monthsAvail) == 0 {
-		return nil, fmt.Errorf("empty warehouse %s (run churnctl generate)", opts.warehouse)
-	}
+	// The artifact may carry a precomputed feature-vector snapshot (churnctl
+	// train -precompute); when it does, the warehouse becomes optional.
+	vp, _ := serve.NewVectorsProvider(pipe)
+
 	days := synth.DefaultConfig().DaysPerMonth
+	var monthsAvail []int
+	wh, whErr := store.Open(opts.warehouse)
+	if whErr == nil {
+		// The customer snapshot anchors month discovery: it is the one table
+		// serving cannot impute around, so its months are the servable months.
+		monthsAvail, whErr = wh.Months(synth.TableCustomers)
+		if whErr == nil && len(monthsAvail) == 0 {
+			whErr = fmt.Errorf("empty warehouse %s (run churnctl generate)", opts.warehouse)
+		}
+	}
+
+	// Month cascade: explicit flag, else the warehouse's latest customer
+	// snapshot, else the month the artifact's vectors were precomputed from.
 	month := opts.month
 	if month == 0 {
-		month = monthsAvail[len(monthsAvail)-1]
+		switch {
+		case whErr == nil:
+			month = monthsAvail[len(monthsAvail)-1]
+		case vp != nil:
+			month = vp.Month()
+		default:
+			return nil, whErr
+		}
 	}
-	rs := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
-		MaxAttempts: opts.retries,
-		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
-			s.metrics.Retries.Add(1)
-			log.Printf("churnd: retrying %s (attempt %d, backoff %v): %v", op, attempt, delay, err)
-		},
-	})
-	win := features.MonthWindow(month, days)
+	useVectors := vp != nil && vp.Month() == month
 
-	var prov *serve.FrameProvider
-	if opts.degraded {
-		prov, err = serve.NewFrameProviderDegraded(pipe, rs, win)
+	var frameProv *serve.FrameProvider
+	if whErr == nil {
+		rs := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
+			MaxAttempts: opts.retries,
+			OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+				s.metrics.Retries.Add(1)
+				log.Printf("churnd: retrying %s (attempt %d, backoff %v): %v", op, attempt, delay, err)
+			},
+		})
+		win := features.MonthWindow(month, days)
+		if opts.degraded {
+			frameProv, err = serve.NewFrameProviderDegraded(pipe, rs, win)
+		} else {
+			frameProv, err = serve.NewFrameProvider(pipe, rs, win)
+		}
+		s.metrics.RetriesExhausted.Add(rs.Exhausted())
+		if err != nil {
+			if !useVectors {
+				return nil, fmt.Errorf("build serving frame for month %d: %w", month, err)
+			}
+			log.Printf("churnd: frame path unavailable, serving the precomputed snapshot alone: %v", err)
+			frameProv = nil
+		}
+	} else if !useVectors {
+		return nil, whErr
 	} else {
-		prov, err = serve.NewFrameProvider(pipe, rs, win)
+		log.Printf("churnd: warehouse unavailable, serving the precomputed snapshot alone: %v", whErr)
 	}
-	s.metrics.RetriesExhausted.Add(rs.Exhausted())
-	if err != nil {
-		return nil, fmt.Errorf("build serving frame for month %d: %w", month, err)
+
+	var (
+		prov   serve.VectorProvider
+		source string
+		deg    features.Degradation
+		ids    []int64
+	)
+	switch {
+	case useVectors && frameProv != nil:
+		// Snapshot first — an index lookup, zero allocations — with the frame
+		// answering for customers outside it; the frame keeps its TTL cache
+		// since its lookups cost a map probe plus a row copy.
+		fb, err := serve.NewFallbackProvider(vp, serve.NewCache(frameProv, opts.cacheTTL, s.metrics))
+		if err != nil {
+			return nil, err
+		}
+		prov, source, deg, ids = fb, "vectors+frame", frameProv.Degradation(), frameProv.IDs()
+	case useVectors:
+		prov, source, ids = vp, "vectors", vp.IDs()
+	default:
+		prov, source, deg, ids = serve.NewCache(frameProv, opts.cacheTTL, s.metrics), "frame", frameProv.Degradation(), frameProv.IDs()
 	}
-	s.metrics.DegradedMask.Store(uint64(prov.Degradation()))
+	s.metrics.DegradedMask.Store(uint64(deg))
 	return &engine{
 		pipe:   pipe,
-		prov:   prov,
-		scorer: serve.NewScorer(pipe.Classifier(), serve.NewCache(prov, opts.cacheTTL, s.metrics), opts.cfg, s.metrics),
+		scorer: serve.NewScorer(pipe.Classifier(), prov, opts.cfg, s.metrics),
 		model:  pipe.Classifier().Name(),
 		month:  month,
+		source: source,
+		deg:    deg,
+		ids:    ids,
+		rows:   len(ids),
 	}, nil
 }
 
@@ -238,6 +316,7 @@ func (s *service) Close() {
 func (s *service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/v1/customers", s.handleCustomers)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -300,8 +379,8 @@ func (s *service) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := scoreResponse{Model: e.model, Month: e.month}
-	if deg := e.prov.Degradation(); !deg.Empty() {
-		resp.Degraded = deg.String()
+	if !e.deg.Empty() {
+		resp.Degraded = e.deg.String()
 	}
 	if single {
 		resp.Score = &scores[0]
@@ -334,10 +413,11 @@ func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if e := s.cur.Load(); e != nil {
 		body["model"] = e.model
 		body["month"] = e.month
-		body["customers"] = e.prov.NumRows()
+		body["customers"] = e.rows
 		body["features"] = len(e.pipe.FeatureNames())
 		body["schema"] = fmt.Sprintf("%08x", e.pipe.SchemaChecksum())
-		body["degraded"] = e.prov.Degradation().String()
+		body["source"] = e.source
+		body["degraded"] = e.deg.String()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -352,12 +432,44 @@ func (s *service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready"})
 		return
 	}
-	deg := e.prov.Degradation()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ready",
 		"month":    e.month,
-		"degraded": deg.String(),
+		"source":   e.source,
+		"degraded": e.deg.String(),
 		"schema":   fmt.Sprintf("%08x", e.pipe.SchemaChecksum()),
+	})
+}
+
+// handleCustomers lists the scorable customer ids — the discovery endpoint
+// load generators (churnload) and smoke checks use to pick real targets.
+func (s *service) handleCustomers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	e := s.cur.Load()
+	if e == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no engine loaded"})
+		return
+	}
+	ids := e.ids
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"limit must be a non-negative integer"})
+			return
+		}
+		if n < len(ids) {
+			ids = ids[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"month":  e.month,
+		"count":  e.rows,
+		"source": e.source,
+		"ids":    ids,
 	})
 }
 

@@ -1,0 +1,292 @@
+// Command churnload is an open-loop load generator for churnd — the harness
+// behind the serving-latency numbers in DESIGN.md §13:
+//
+//	churnd -artifact churn-model.tcpa -warehouse ./warehouse &
+//	churnload -addr http://127.0.0.1:8080 -rps 500 -duration 10s -out LOAD.json
+//
+// Open loop means requests fire on a fixed schedule (one every 1/rps) no
+// matter how slowly the server answers, and each latency is measured from
+// the request's *scheduled* send time. A server that stalls therefore shows
+// the stall in every queued request's latency instead of silently slowing
+// the generator down — the coordinated-omission mistake closed-loop tools
+// make.
+//
+// Target ids come from churnd's GET /v1/customers unless -ids pins them.
+// Latencies land in the same log-2 histogram churnd's /metrics uses; the
+// report is a benchjson-compatible JSON document, so two runs diff with:
+//
+//	benchjson -compare -tolerance 1.5x LOAD_BASE.json LOAD.json
+//
+// With -max-p99 and/or -max-non2xx the run self-gates (non-zero exit on
+// violation), which is how CI's loadtest job turns a 10-second run into a
+// latency regression guard.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telcochurn/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("churnload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "churnd base URL (scheme optional)")
+	rps := fs.Float64("rps", 200, "target request rate (open loop)")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	conns := fs.Int("conns", 16, "concurrent senders (also the connection-pool size)")
+	batch := fs.Int("batch", 1, "ids per request (1 = single-score path)")
+	idSpec := fs.String("ids", "", "comma-separated target ids (default: discover via /v1/customers)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request timeout")
+	out := fs.String("out", "", "benchjson-compatible report path (default stdout)")
+	name := fs.String("name", "BenchmarkChurnload", "benchmark name in the report")
+	seed := fs.Int64("seed", 1, "target-selection seed")
+	maxP99 := fs.Duration("max-p99", 0, "fail when p99 exceeds this (0 = no gate)")
+	maxNon2xx := fs.Float64("max-non2xx", -1, "fail when the non-2xx fraction exceeds this (-1 = no gate)")
+	fs.Parse(os.Args[1:])
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	if *rps <= 0 || *duration <= 0 || *conns <= 0 || *batch <= 0 {
+		fatal("rps, duration, conns and batch must all be positive")
+	}
+	ids, err := targetIDs(base, *idSpec, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := newRun(base, ids, *conns, *batch, *timeout, *seed)
+	total := int64(*rps * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / *rps)
+	elapsed := r.fire(total, interval)
+
+	rep := r.report(*name, *rps, *batch, total, elapsed, *duration)
+	buf, _ := json.MarshalIndent(rep, "", "  ")
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	r.summarize(os.Stderr, total, elapsed)
+
+	if bad := r.gate(*maxP99, *maxNon2xx, total); bad != "" {
+		fatal("gate failed: " + bad)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "churnload:", v)
+	os.Exit(1)
+}
+
+// targetIDs resolves the id pool: an explicit -ids list, or discovery
+// against the server's /v1/customers endpoint.
+func targetIDs(base, spec string, timeout time.Duration) ([]int64, error) {
+	if spec != "" {
+		var ids []int64
+		for _, tok := range strings.Split(spec, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad id %q in -ids", tok)
+			}
+			ids = append(ids, id)
+		}
+		return ids, nil
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(base + "/v1/customers")
+	if err != nil {
+		return nil, fmt.Errorf("discover targets: %w (is churnd up? or pass -ids)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("discover targets: %s from %s/v1/customers", resp.Status, base)
+	}
+	var body struct {
+		IDs []int64 `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("discover targets: %w", err)
+	}
+	if len(body.IDs) == 0 {
+		return nil, fmt.Errorf("server reports no scorable customers")
+	}
+	return body.IDs, nil
+}
+
+// run holds the shared state of one load run.
+type run struct {
+	url    string
+	ids    []int64
+	conns  int
+	batch  int
+	seed   int64
+	client *http.Client
+
+	latency serve.Histogram // ns from scheduled send to response fully read
+	ok      atomic.Int64    // 2xx responses
+	non2xx  atomic.Int64    // responses with any other status
+	errs    atomic.Int64    // transport-level failures (timeout, refused)
+	late    atomic.Int64    // requests that started >= 1 interval behind schedule
+}
+
+func newRun(base string, ids []int64, conns, batch int, timeout time.Duration, seed int64) *run {
+	return &run{
+		url:   base + "/v1/score",
+		ids:   ids,
+		conns: conns,
+		batch: batch,
+		seed:  seed,
+		client: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        conns * 2,
+				MaxIdleConnsPerHost: conns * 2,
+			},
+		},
+	}
+}
+
+// fire sends `total` requests on the open-loop schedule: request k is due at
+// start + k*interval, and worker w owns every k ≡ w (mod conns). A worker
+// that falls behind does not re-space its schedule — it fires late and the
+// lateness lands in the latency measurement. Returns wall time for the run.
+func (r *run) fire(total int64, interval time.Duration) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < r.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.seed + int64(w)))
+			body := make([]byte, 0, 64)
+			for k := int64(w); k < total; k += int64(r.conns) {
+				sched := start.Add(time.Duration(k) * interval)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				} else if -d >= interval {
+					r.late.Add(1)
+				}
+				r.one(rng, body[:0], sched)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// one sends a single score request and records its outcome. Latency runs
+// from the scheduled send time through draining the response body.
+func (r *run) one(rng *rand.Rand, body []byte, sched time.Time) {
+	if r.batch == 1 {
+		body = append(body, `{"id":`...)
+		body = strconv.AppendInt(body, r.ids[rng.Intn(len(r.ids))], 10)
+		body = append(body, '}')
+	} else {
+		body = append(body, `{"ids":[`...)
+		for i := 0; i < r.batch; i++ {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = strconv.AppendInt(body, r.ids[rng.Intn(len(r.ids))], 10)
+		}
+		body = append(body, `]}`...)
+	}
+	resp, err := r.client.Post(r.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.errs.Add(1)
+		r.latency.Observe(uint64(time.Since(sched)))
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r.latency.Observe(uint64(time.Since(sched)))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		r.ok.Add(1)
+	} else {
+		r.non2xx.Add(1)
+	}
+}
+
+// report renders the run in benchjson's document shape, so a saved run
+// works as a `benchjson -compare` baseline for later runs.
+func (r *run) report(name string, rps float64, batch int, total int64, elapsed, want time.Duration) map[string]any {
+	full := fmt.Sprintf("%s/rps=%g/batch=%d", name, rps, batch)
+	mean := 0.0
+	if snap := r.latency.Snapshot(); snap["count"].(uint64) > 0 {
+		mean = snap["mean"].(float64)
+	}
+	bench := map[string]any{
+		"name":          full,
+		"iterations":    total,
+		"ns_per_op":     mean,
+		"bytes_per_op":  0,
+		"allocs_per_op": 0,
+		"extra": map[string]float64{
+			"p50-ns":       r.latency.Quantile(0.50),
+			"p95-ns":       r.latency.Quantile(0.95),
+			"p99-ns":       r.latency.Quantile(0.99),
+			"achieved-rps": float64(total) / elapsed.Seconds(),
+			"non2xx":       float64(r.non2xx.Load()),
+			"errors":       float64(r.errs.Load()),
+			"late":         float64(r.late.Load()),
+		},
+	}
+	return map[string]any{
+		"package":    "cmd/churnload",
+		"bench":      full,
+		"benchtime":  want.String(),
+		"benchmarks": []any{bench},
+	}
+}
+
+// summarize prints the human-readable digest on stderr (the JSON report owns
+// stdout).
+func (r *run) summarize(w io.Writer, total int64, elapsed time.Duration) {
+	fmt.Fprintf(w, "churnload: %d requests in %v (%.1f req/s achieved)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "churnload: latency p50 %v  p95 %v  p99 %v\n",
+		time.Duration(r.latency.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(r.latency.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(r.latency.Quantile(0.99)).Round(time.Microsecond))
+	fmt.Fprintf(w, "churnload: 2xx %d  non-2xx %d  transport errors %d  late sends %d\n",
+		r.ok.Load(), r.non2xx.Load(), r.errs.Load(), r.late.Load())
+}
+
+// gate applies the self-check thresholds; a non-empty return is the failure
+// message.
+func (r *run) gate(maxP99 time.Duration, maxNon2xx float64, total int64) string {
+	if maxP99 > 0 {
+		if p99 := time.Duration(r.latency.Quantile(0.99)); p99 > maxP99 {
+			return fmt.Sprintf("p99 %v exceeds -max-p99 %v", p99.Round(time.Microsecond), maxP99)
+		}
+	}
+	if maxNon2xx >= 0 {
+		// Transport errors count against the non-2xx budget: a connection
+		// the server dropped is worse than a clean 503.
+		bad := float64(r.non2xx.Load()+r.errs.Load()) / float64(total)
+		if bad > maxNon2xx {
+			return fmt.Sprintf("non-2xx fraction %.4f exceeds -max-non2xx %.4f", bad, maxNon2xx)
+		}
+	}
+	return ""
+}

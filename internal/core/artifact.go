@@ -33,10 +33,15 @@ import (
 
 const artifactMagic = "TCPA"
 
-// ArtifactVersion is the schema version this build writes and reads.
-// Readers reject other versions with ErrArtifactVersion rather than
-// guessing at the layout.
-const ArtifactVersion = 1
+// ArtifactVersion is the schema version this build writes. Version 2 added
+// an optional precomputed feature-vector section after the classifier;
+// readers accept both 1 and 2 (a v1 bundle simply loads with no vectors)
+// and reject anything else with ErrArtifactVersion rather than guessing at
+// the layout.
+const ArtifactVersion = 2
+
+// artifactVersionMin is the oldest schema version Load still reads.
+const artifactVersionMin = 1
 
 var (
 	// ErrBadArtifact is returned when a bundle fails structural or checksum
@@ -122,6 +127,9 @@ func (p *Pipeline) Save(w io.Writer) (int64, error) {
 	default:
 		return 0, fmt.Errorf("core: classifier %T is not persistable", p.clf)
 	}
+
+	// v2: optional precomputed feature-vector snapshot (see vectors.go).
+	encodeOptional(cw, p.vectors != nil, func() { p.vectors.encode(cw) })
 	return cw.Close()
 }
 
@@ -163,11 +171,12 @@ func Load(r io.Reader) (*Pipeline, error) {
 	if len(data) < len(artifactMagic)+1 || string(data[:len(artifactMagic)]) != artifactMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadArtifact)
 	}
-	if v := data[len(artifactMagic)]; v != ArtifactVersion {
-		return nil, fmt.Errorf("%w: bundle is version %d, this build reads version %d",
-			ErrArtifactVersion, v, ArtifactVersion)
+	version := data[len(artifactMagic)]
+	if version < artifactVersionMin || version > ArtifactVersion {
+		return nil, fmt.Errorf("%w: bundle is version %d, this build reads versions %d-%d",
+			ErrArtifactVersion, version, artifactVersionMin, ArtifactVersion)
 	}
-	rd, err := codec.NewReaderBytes(data, artifactMagic+string([]byte{ArtifactVersion}))
+	rd, err := codec.NewReaderBytes(data, artifactMagic+string([]byte{version}))
 	if err != nil {
 		return nil, badArtifact(err)
 	}
@@ -232,13 +241,13 @@ func Load(r io.Reader) (*Pipeline, error) {
 		if err != nil {
 			return nil, badArtifact(err)
 		}
-		p.clf = &RFClassifier{forest: f}
+		p.clf = &RFClassifier{forest: f, compiled: f.Compile()}
 	case tagGBDT:
 		g, err := tree.ReadGBDT(bytes.NewReader(rd.Bytes()))
 		if err != nil {
 			return nil, badArtifact(err)
 		}
-		p.clf = &GBDTClassifier{model: g}
+		p.clf = &GBDTClassifier{model: g, compiled: g.Compile()}
 	case tagLiblinear:
 		c := &LinearClassifier{Buckets: int(rd.Uvarint())}
 		if c.bin, err = linear.DecodeBinarizer(rd); err != nil {
@@ -259,6 +268,16 @@ func Load(r io.Reader) (*Pipeline, error) {
 		p.clf = c
 	default:
 		return nil, fmt.Errorf("%w: unknown classifier tag %q", ErrBadArtifact, tag)
+	}
+
+	if version >= 2 {
+		if err := decodeOptional(rd, func() error {
+			v, err := decodeVectors(rd, len(p.featNames))
+			p.vectors = v
+			return err
+		}); err != nil {
+			return nil, badArtifact(err)
+		}
 	}
 	if err := rd.Close(); err != nil {
 		return nil, badArtifact(err)

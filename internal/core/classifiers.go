@@ -15,10 +15,21 @@ type Classifier interface {
 	Name() string
 }
 
+// SingleScorer is the synchronous single-row fast path a serving layer may
+// use instead of batching through ScoreAll. Score must be safe for
+// concurrent use and bit-identical to ScoreAll([][]float64{x})[0]. The tree
+// families (RF, GBDT) score through compiled flat ensembles and allocate
+// nothing; the binarizing families (LIBLINEAR, LIBFM) allocate one
+// transformed row per call.
+type SingleScorer interface {
+	Score(x []float64) float64
+}
+
 // RFClassifier wraps the random forest — the paper's deployed choice.
 type RFClassifier struct {
-	Config tree.ForestConfig
-	forest *tree.Forest
+	Config   tree.ForestConfig
+	forest   *tree.Forest
+	compiled *tree.CompiledForest // flat SoA ensemble for the serving path
 }
 
 // Fit implements Classifier.
@@ -28,11 +39,22 @@ func (c *RFClassifier) Fit(d *dataset.Dataset) error {
 		return err
 	}
 	c.forest = f
+	c.compiled = f.Compile()
 	return nil
 }
 
-// ScoreAll implements Classifier.
-func (c *RFClassifier) ScoreAll(x [][]float64) []float64 { return c.forest.ScoreAll(x) }
+// ScoreAll implements Classifier. It scores through the compiled ensemble
+// (bit-identical to the pointer walker, proven by the tree package's
+// property tests) when one is available.
+func (c *RFClassifier) ScoreAll(x [][]float64) []float64 {
+	if c.compiled != nil {
+		return c.compiled.ScoreAll(x)
+	}
+	return c.forest.ScoreAll(x)
+}
+
+// Score implements SingleScorer without allocating.
+func (c *RFClassifier) Score(x []float64) float64 { return c.compiled.Score(x) }
 
 // Name implements Classifier.
 func (c *RFClassifier) Name() string { return "RF" }
@@ -42,8 +64,9 @@ func (c *RFClassifier) Forest() *tree.Forest { return c.forest }
 
 // GBDTClassifier wraps gradient boosted decision trees.
 type GBDTClassifier struct {
-	Config tree.GBDTConfig
-	model  *tree.GBDT
+	Config   tree.GBDTConfig
+	model    *tree.GBDT
+	compiled *tree.CompiledGBDT
 }
 
 // Fit implements Classifier.
@@ -53,11 +76,20 @@ func (c *GBDTClassifier) Fit(d *dataset.Dataset) error {
 		return err
 	}
 	c.model = m
+	c.compiled = m.Compile()
 	return nil
 }
 
-// ScoreAll implements Classifier.
-func (c *GBDTClassifier) ScoreAll(x [][]float64) []float64 { return c.model.ScoreAll(x) }
+// ScoreAll implements Classifier (compiled when available, like RF).
+func (c *GBDTClassifier) ScoreAll(x [][]float64) []float64 {
+	if c.compiled != nil {
+		return c.compiled.ScoreAll(x)
+	}
+	return c.model.ScoreAll(x)
+}
+
+// Score implements SingleScorer without allocating.
+func (c *GBDTClassifier) Score(x []float64) float64 { return c.compiled.Score(x) }
 
 // Name implements Classifier.
 func (c *GBDTClassifier) Name() string { return "GBDT" }
@@ -94,6 +126,11 @@ func (c *LinearClassifier) ScoreAll(x [][]float64) []float64 {
 	return out
 }
 
+// Score implements SingleScorer (one binarized row allocated per call).
+func (c *LinearClassifier) Score(x []float64) float64 {
+	return c.model.Score(c.bin.TransformRow(x))
+}
+
 // Name implements Classifier.
 func (c *LinearClassifier) Name() string { return "LIBLINEAR" }
 
@@ -127,6 +164,11 @@ func (c *FMClassifier) ScoreAll(x [][]float64) []float64 {
 		out[i] = c.model.Score(c.bin.TransformRow(row))
 	}
 	return out
+}
+
+// Score implements SingleScorer (one binarized row allocated per call).
+func (c *FMClassifier) Score(x []float64) float64 {
+	return c.model.Score(c.bin.TransformRow(x))
 }
 
 // Name implements Classifier.

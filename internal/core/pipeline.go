@@ -118,6 +118,7 @@ type Pipeline struct {
 	search     *features.TopicFeaturizer
 	so         *features.SecondOrderSelector
 	featNames  []string
+	vectors    *FeatureVectors // optional precomputed serving snapshot
 }
 
 // Fit builds training frames for every spec, fits the feature models (LDA on

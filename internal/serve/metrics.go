@@ -13,10 +13,13 @@ import (
 // expvar style (stdlib only, scraped via GET /metrics).
 type Metrics struct {
 	// Requests counts Score calls; Scored counts individual customer
-	// scores produced; Batches counts classifier invocations.
-	Requests atomic.Uint64
-	Scored   atomic.Uint64
-	Batches  atomic.Uint64
+	// scores produced; SyncScored counts the subset served on the
+	// synchronous single-score fast path (no queue hop); Batches counts
+	// classifier invocations on the micro-batch path.
+	Requests   atomic.Uint64
+	Scored     atomic.Uint64
+	SyncScored atomic.Uint64
+	Batches    atomic.Uint64
 	// Errors counts failed Score calls (unknown customer, closed scorer);
 	// QueueFull and Canceled break out the two load-shedding paths.
 	Errors    atomic.Uint64
@@ -56,6 +59,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	return map[string]any{
 		"requests":          m.Requests.Load(),
 		"scored":            m.Scored.Load(),
+		"sync_scored":       m.SyncScored.Load(),
 		"batches":           m.Batches.Load(),
 		"errors":            m.Errors.Load(),
 		"queue_full":        m.QueueFull.Load(),
@@ -124,19 +128,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return float64(h.max.Load())
 }
 
-// Snapshot renders count/mean/max and the standard serving quantiles.
+// Snapshot renders count/mean/max, the standard serving quantiles, and the
+// non-empty raw buckets (lower bound → count), so scrapers can merge or
+// re-quantile distributions across instances.
 func (h *Histogram) Snapshot() map[string]any {
 	count := h.count.Load()
 	mean := 0.0
 	if count > 0 {
 		mean = float64(h.sum.Load()) / float64(count)
 	}
+	var buckets []map[string]uint64
+	for b := range h.buckets {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if b > 0 {
+			lo = uint64(1) << (b - 1) // bucket b holds [2^(b-1), 2^b)
+		}
+		buckets = append(buckets, map[string]uint64{"ge": lo, "count": n})
+	}
 	return map[string]any{
-		"count": count,
-		"mean":  mean,
-		"max":   h.max.Load(),
-		"p50":   h.Quantile(0.50),
-		"p90":   h.Quantile(0.90),
-		"p99":   h.Quantile(0.99),
+		"count":   count,
+		"mean":    mean,
+		"max":     h.max.Load(),
+		"p50":     h.Quantile(0.50),
+		"p90":     h.Quantile(0.90),
+		"p95":     h.Quantile(0.95),
+		"p99":     h.Quantile(0.99),
+		"buckets": buckets,
 	}
 }

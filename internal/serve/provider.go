@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"errors"
+
+	"telcochurn/internal/core"
+)
+
+// VectorsProvider serves feature vectors straight out of a pipeline's
+// precomputed matrix (core.FeatureVectors, persisted in v2 artifacts) —
+// a binary search plus a slice view per lookup, zero allocations, no
+// warehouse access. This is the serving-path ideal: the vectors are the
+// exact strict-build frame rows from precompute time, so scores off them
+// are bit-identical to the frame path over the same window.
+type VectorsProvider struct {
+	vecs  *core.FeatureVectors
+	names []string
+}
+
+// ErrNoVectors mirrors core.ErrNoVectors for callers probing whether a
+// loaded artifact can serve without a warehouse.
+var ErrNoVectors = core.ErrNoVectors
+
+// NewVectorsProvider wraps the pipeline's precomputed matrix; it fails with
+// ErrNoVectors when the artifact carries none (pre-v2, or trained without
+// -precompute).
+func NewVectorsProvider(p *core.Pipeline) (*VectorsProvider, error) {
+	v := p.Vectors()
+	if v == nil {
+		return nil, ErrNoVectors
+	}
+	return &VectorsProvider{vecs: v, names: p.FeatureNames()}, nil
+}
+
+// Vector implements VectorProvider without allocating.
+func (vp *VectorsProvider) Vector(id int64) ([]float64, bool) { return vp.vecs.Vector(id) }
+
+// FeatureNames implements VectorProvider.
+func (vp *VectorsProvider) FeatureNames() []string { return vp.names }
+
+// IDs returns every customer in the snapshot, ascending.
+func (vp *VectorsProvider) IDs() []int64 { return vp.vecs.IDs() }
+
+// NumRows returns the snapshot size.
+func (vp *VectorsProvider) NumRows() int { return vp.vecs.NumRows() }
+
+// Month returns the feature month the snapshot was precomputed from.
+func (vp *VectorsProvider) Month() int { return vp.vecs.Month() }
+
+// FallbackProvider resolves vectors from a primary provider (typically the
+// precomputed matrix) and falls back to a secondary (typically the frame
+// path) for customers the primary does not know — e.g. customers who joined
+// after the artifact was trained, or a degraded-mode frame widened beyond
+// the snapshot.
+type FallbackProvider struct {
+	primary   VectorProvider
+	secondary VectorProvider
+}
+
+// NewFallbackProvider chains two providers. Their schemas must agree; the
+// caller is expected to have checked (churnd compares checksums at load).
+func NewFallbackProvider(primary, secondary VectorProvider) (*FallbackProvider, error) {
+	if primary == nil || secondary == nil {
+		return nil, errors.New("serve: fallback provider needs both providers")
+	}
+	return &FallbackProvider{primary: primary, secondary: secondary}, nil
+}
+
+// Vector implements VectorProvider: primary first, then secondary.
+func (f *FallbackProvider) Vector(id int64) ([]float64, bool) {
+	if vec, ok := f.primary.Vector(id); ok {
+		return vec, true
+	}
+	return f.secondary.Vector(id)
+}
+
+// FeatureNames implements VectorProvider.
+func (f *FallbackProvider) FeatureNames() []string { return f.primary.FeatureNames() }

@@ -1,25 +1,32 @@
-// Package serve is the online scoring layer over a fitted core.Pipeline:
-// concurrent requests coalesce into micro-batches that feed the vectorized
-// ScoreAll path, behind a bounded queue with per-request cancellation and a
-// TTL feature-vector cache. The paper's system applies the trained model to
-// the full prepaid base monthly (§5-6); this package is the same scorer
-// turned into a long-lived service (cf. Diaz-Aviles et al., "Towards
-// Real-time Customer Experience Prediction for Telecommunication
-// Operators").
+// Package serve is the online scoring layer over a fitted core.Pipeline.
+// Single-customer requests take a synchronous fast path — feature-vector
+// lookup plus a compiled-ensemble walk, zero allocations steady-state — when
+// the classifier implements core.SingleScorer. Multi-customer requests
+// coalesce into micro-batches on per-core shards (customer-hash affinity via
+// table.ShardOf) that feed the vectorized ScoreAll path, behind a globally
+// bounded queue with per-request cancellation and pooled request/item
+// buffers. The paper's system applies the trained model to the full prepaid
+// base monthly (§5-6); this package is the same scorer turned into a
+// long-lived service (cf. Diaz-Aviles et al., "Towards Real-time Customer
+// Experience Prediction for Telecommunication Operators").
 //
-// Determinism: every built-in classifier scores rows independently, so the
-// batch a request happens to land in cannot change its scores — served
-// outputs are bit-identical to batch Pipeline.Predict over the same window.
+// Determinism: every built-in classifier scores rows independently, so
+// neither the batch a request lands in nor the path it takes (sync vs
+// sharded queue) can change its scores — served outputs are bit-identical to
+// batch Pipeline.Predict over the same window.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"telcochurn/internal/core"
+	"telcochurn/internal/table"
 )
 
 var (
@@ -33,19 +40,25 @@ var (
 	ErrUnknownCustomer = errors.New("serve: unknown customer")
 )
 
-// Config tunes the micro-batching scorer. Zero values mean defaults.
+// Config tunes the scorer. Zero values mean defaults.
 type Config struct {
 	// MaxBatch is the largest micro-batch handed to the classifier
 	// (default 256). Larger batches amortize dispatch; smaller bound
 	// worst-case queueing delay.
 	MaxBatch int
-	// MaxDelay is how long the batcher waits for more items after the
-	// first before flushing a partial batch (default 2ms). This is the
+	// MaxDelay is how long a shard's batcher waits for more items after
+	// the first before flushing a partial batch (default 2ms). This is the
 	// latency the slowest request in a quiet period pays for batching.
 	MaxDelay time.Duration
-	// QueueSize bounds the number of pending customer scores (default
-	// 4096). Enqueueing past it fails fast with ErrQueueFull.
+	// QueueSize bounds the number of customer scores pending across all
+	// shards (default 4096). Enqueueing past it fails fast with
+	// ErrQueueFull.
 	QueueSize int
+	// Shards is the number of batching shards, each with its own queue and
+	// goroutine (default GOMAXPROCS). Items route to shards by customer
+	// hash (table.ShardOf), so a hot customer's scores serialize on one
+	// shard while the rest of the id space stays unaffected.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,23 +71,36 @@ func (c Config) withDefaults() Config {
 	if c.QueueSize == 0 {
 		c.QueueSize = 4096
 	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
-// Scorer coalesces concurrent score requests into micro-batches.
+// Scorer scores customers against a fitted classifier: synchronously for
+// single lookups when the classifier supports it, micro-batched on sharded
+// queues otherwise.
 type Scorer struct {
 	clf     core.Classifier
+	single  core.SingleScorer // non-nil: the zero-alloc sync fast path
 	prov    VectorProvider
 	cfg     Config
 	metrics *Metrics
 
-	mu     sync.RWMutex // guards queue sends against Close
+	mu     sync.RWMutex // guards shard sends against Close
 	closed bool
-	queue  chan *item
-	wg     sync.WaitGroup
+	shards []chan *item
+	// pending counts items sitting in shard queues (not yet picked up by a
+	// batcher); the admission check bounds it by QueueSize, which also
+	// guarantees shard channel sends never block.
+	pending atomic.Int64
+	wg      sync.WaitGroup
+
+	itemPool sync.Pool // *item
+	reqPool  sync.Pool // *request; canceled requests are never pooled
 }
 
-// item is one customer score pending in the queue.
+// item is one customer score pending in a shard queue.
 type item struct {
 	vec []float64
 	pos int
@@ -84,40 +110,103 @@ type item struct {
 // request is the shared state of one Score call's items.
 type request struct {
 	out       []float64
-	remaining int64
-	mu        sync.Mutex
-	canceled  bool
-	done      chan struct{}
+	remaining atomic.Int64
+	canceled  atomic.Bool
+	// done is buffered (cap 1) and signaled — not closed — by the last
+	// delivery, so the request struct can be pooled and reused.
+	done chan struct{}
 }
 
-// NewScorer starts the batching loop. metrics may be nil (a private one is
-// created); retrieve it with Metrics for the /metrics endpoint.
+// NewScorer starts the shard batching loops. metrics may be nil (a private
+// one is created); retrieve it with Metrics for the /metrics endpoint.
 func NewScorer(clf core.Classifier, prov VectorProvider, cfg Config, m *Metrics) *Scorer {
 	if m == nil {
 		m = &Metrics{}
 	}
+	cfg = cfg.withDefaults()
 	s := &Scorer{
 		clf:     clf,
 		prov:    prov,
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		metrics: m,
-		queue:   make(chan *item, cfg.withDefaults().QueueSize),
+		shards:  make([]chan *item, cfg.Shards),
 	}
-	s.wg.Add(1)
-	go s.loop()
+	s.single, _ = clf.(core.SingleScorer)
+	s.itemPool.New = func() any { return new(item) }
+	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	for i := range s.shards {
+		// Capacity QueueSize per shard: the global pending bound admits at
+		// most QueueSize items total, so sends never block even if every
+		// admitted item hashes to one shard.
+		s.shards[i] = make(chan *item, cfg.QueueSize)
+		s.wg.Add(1)
+		go s.loop(s.shards[i])
+	}
 	return s
 }
 
 // Metrics returns the scorer's instrumentation.
 func (s *Scorer) Metrics() *Metrics { return s.metrics }
 
+// ScoreOne scores a single customer. With a SingleScorer classifier this is
+// the synchronous fast path — vector lookup plus one compiled-ensemble walk,
+// no queue hop, zero allocations — and bit-identical to the batched path.
+func (s *Scorer) ScoreOne(ctx context.Context, id int64) (float64, error) {
+	if s.single != nil {
+		start := time.Now()
+		s.metrics.Requests.Add(1)
+		if err := ctx.Err(); err != nil {
+			s.metrics.Canceled.Add(1)
+			return 0, err
+		}
+		vec, ok := s.prov.Vector(id)
+		if !ok {
+			s.metrics.Errors.Add(1)
+			return 0, unknownCustomer(id)
+		}
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			s.metrics.Errors.Add(1)
+			return 0, ErrClosed
+		}
+		score := s.single.Score(vec)
+		s.mu.RUnlock()
+		s.metrics.Scored.Add(1)
+		s.metrics.SyncScored.Add(1)
+		s.metrics.LatencyNs.Observe(uint64(time.Since(start)))
+		return score, nil
+	}
+	out, err := s.Score(ctx, []int64{id})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// unknownCustomer is split out so the fast path's happy case stays free of
+// the error allocation.
+func unknownCustomer(id int64) error {
+	return fmt.Errorf("%w %d", ErrUnknownCustomer, id)
+}
+
 // Score resolves the customers' feature vectors (through the provider,
-// typically cache-fronted), enqueues them for micro-batched scoring, and
-// waits for the scores or the context. Scores are positionally aligned with
-// ids and bit-identical to the batch Pipeline.Predict output for the same
-// window. A full queue fails fast with ErrQueueFull; an expired context
-// abandons the request (its items are skipped if not yet scored).
+// typically cache- or precomputed-matrix-backed), enqueues them for
+// micro-batched scoring on their hash shards, and waits for the scores or
+// the context. Scores are positionally aligned with ids and bit-identical to
+// the batch Pipeline.Predict output for the same window. A full queue fails
+// fast with ErrQueueFull; an expired context abandons the request (its items
+// are skipped if not yet scored).
 func (s *Scorer) Score(ctx context.Context, ids []int64) ([]float64, error) {
+	if len(ids) == 1 && s.single != nil {
+		// The sync fast path (which counts its own request metric); one
+		// result allocation for the API shape.
+		score, err := s.ScoreOne(ctx, ids[0])
+		if err != nil {
+			return nil, err
+		}
+		return []float64{score}, nil
+	}
 	start := time.Now()
 	s.metrics.Requests.Add(1)
 	if len(ids) == 0 {
@@ -132,58 +221,72 @@ func (s *Scorer) Score(ctx context.Context, ids []int64) ([]float64, error) {
 		vec, ok := s.prov.Vector(id)
 		if !ok {
 			s.metrics.Errors.Add(1)
-			return nil, fmt.Errorf("%w %d", ErrUnknownCustomer, id)
+			return nil, unknownCustomer(id)
 		}
 		vecs[i] = vec
 	}
 
-	req := &request{out: make([]float64, len(ids)), remaining: int64(len(ids)), done: make(chan struct{})}
+	req := s.newRequest(len(ids))
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		s.metrics.Errors.Add(1)
 		return nil, ErrClosed
 	}
-	for i := range ids {
-		select {
-		case s.queue <- &item{vec: vecs[i], pos: i, req: req}:
-		default:
+	nshards := len(s.shards)
+	for i, id := range ids {
+		if s.pending.Add(1) > int64(s.cfg.QueueSize) {
+			s.pending.Add(-1)
 			s.mu.RUnlock()
-			req.cancel()
+			// Items already enqueued score into a canceled request and are
+			// dropped at flush; the request struct is abandoned to GC.
+			req.canceled.Store(true)
 			s.metrics.QueueFull.Add(1)
 			s.metrics.Errors.Add(1)
 			return nil, ErrQueueFull
 		}
+		it := s.itemPool.Get().(*item)
+		it.vec, it.pos, it.req = vecs[i], i, req
+		s.shards[table.ShardOf(id, nshards)] <- it
 	}
 	s.mu.RUnlock()
 
 	select {
 	case <-req.done:
+		out := req.out
+		req.out = nil // the result belongs to the caller, not the pool
+		s.reqPool.Put(req)
 		s.metrics.LatencyNs.Observe(uint64(time.Since(start)))
-		return req.out, nil
+		return out, nil
 	case <-ctx.Done():
-		req.cancel()
+		req.canceled.Store(true)
 		s.metrics.Canceled.Add(1)
 		return nil, ctx.Err()
 	}
 }
 
-// ScoreOne scores a single customer.
-func (s *Scorer) ScoreOne(ctx context.Context, id int64) (float64, error) {
-	out, err := s.Score(ctx, []int64{id})
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
+// newRequest takes a pooled request and resets it for n items. Pooled
+// requests have always fully delivered (canceled ones are never returned),
+// so done is empty. The result slice is always fresh — it is handed to the
+// caller on completion, so it cannot be pooled.
+func (s *Scorer) newRequest(n int) *request {
+	req := s.reqPool.Get().(*request)
+	req.out = make([]float64, n)
+	req.remaining.Store(int64(n))
+	req.canceled.Store(false)
+	return req
 }
 
-// Close drains the queue, stops the batching loop and waits for it. Score
-// calls concurrent with Close either complete or return ErrClosed.
+// Close drains the shard queues, stops the batching loops and waits for
+// them. Score calls concurrent with Close either complete or return
+// ErrClosed.
 func (s *Scorer) Close() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		for _, q := range s.shards {
+			close(q)
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -196,20 +299,24 @@ func (s *Scorer) Closed() bool {
 	return s.closed
 }
 
-// loop is the batching goroutine: it blocks for the first item, then
-// collects until MaxBatch or MaxDelay, then flushes — so an idle service
-// adds no latency beyond one queue hop, and a busy one amortizes dispatch
-// over whole batches.
-func (s *Scorer) loop() {
+// loop is one shard's batching goroutine: it blocks for the first item,
+// then collects until MaxBatch or MaxDelay, then flushes — so an idle
+// service adds no latency beyond one queue hop, and a busy one amortizes
+// dispatch over whole batches. The batch and vector buffers live for the
+// goroutine's lifetime, so steady-state batching allocates only what the
+// classifier itself allocates.
+func (s *Scorer) loop(queue chan *item) {
 	defer s.wg.Done()
-	var batch []*item
+	batch := make([]*item, 0, s.cfg.MaxBatch)
+	vecs := make([][]float64, 0, s.cfg.MaxBatch)
 	timer := time.NewTimer(s.cfg.MaxDelay)
 	defer timer.Stop()
 	for {
-		first, ok := <-s.queue
+		first, ok := <-queue
 		if !ok {
 			return
 		}
+		s.pending.Add(-1)
 		batch = append(batch[:0], first)
 		if !timer.Stop() {
 			select {
@@ -221,65 +328,56 @@ func (s *Scorer) loop() {
 	collect:
 		for len(batch) < s.cfg.MaxBatch {
 			select {
-			case it, ok := <-s.queue:
+			case it, ok := <-queue:
 				if !ok {
 					break collect
 				}
+				s.pending.Add(-1)
 				batch = append(batch, it)
 			case <-timer.C:
 				break collect
 			}
 		}
-		s.flush(batch)
+		s.flush(batch, vecs)
 	}
 }
 
 // flush scores one micro-batch and distributes results. Items whose
 // request was canceled are dropped before scoring (their waiter is gone).
-func (s *Scorer) flush(batch []*item) {
+func (s *Scorer) flush(batch []*item, vecs [][]float64) {
 	live := batch[:0]
 	for _, it := range batch {
-		if !it.req.isCanceled() {
-			live = append(live, it)
+		if it.req.canceled.Load() {
+			it.vec, it.req = nil, nil
+			s.itemPool.Put(it)
+			continue
 		}
+		live = append(live, it)
 	}
 	if len(live) == 0 {
 		return
 	}
-	vecs := make([][]float64, len(live))
-	for i, it := range live {
-		vecs[i] = it.vec
+	vecs = vecs[:0]
+	for _, it := range live {
+		vecs = append(vecs, it.vec)
 	}
 	scores := s.clf.ScoreAll(vecs)
 	for i, it := range live {
 		it.req.deliver(it.pos, scores[i])
+		it.vec, it.req = nil, nil
+		s.itemPool.Put(it)
 	}
 	s.metrics.Batches.Add(1)
 	s.metrics.Scored.Add(uint64(len(live)))
 	s.metrics.BatchSize.Observe(uint64(len(live)))
 }
 
-func (r *request) cancel() {
-	r.mu.Lock()
-	r.canceled = true
-	r.mu.Unlock()
-}
-
-func (r *request) isCanceled() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.canceled
-}
-
-// deliver stores one positional score; the last delivery completes the
-// request.
+// deliver stores one positional score; the last delivery signals the
+// waiter. The signal is a buffered send, not a close, so the request can be
+// pooled.
 func (r *request) deliver(pos int, score float64) {
 	r.out[pos] = score
-	r.mu.Lock()
-	r.remaining--
-	last := r.remaining == 0
-	r.mu.Unlock()
-	if last {
-		close(r.done)
+	if r.remaining.Add(-1) == 0 {
+		r.done <- struct{}{}
 	}
 }

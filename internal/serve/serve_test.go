@@ -131,7 +131,9 @@ func TestScorerUnknownCustomer(t *testing.T) {
 func TestScorerContextCancel(t *testing.T) {
 	gate := make(chan struct{})
 	clf := &sumClassifier{entered: make(chan struct{}, 8), gate: gate}
-	s := NewScorer(clf, newMapProvider(10), Config{MaxBatch: 1, MaxDelay: time.Microsecond}, nil)
+	// One shard, so the gated first request deterministically blocks the
+	// batcher the second request's item lands on.
+	s := NewScorer(clf, newMapProvider(10), Config{MaxBatch: 1, MaxDelay: time.Microsecond, Shards: 1}, nil)
 
 	// First request occupies the classifier at the gate, so the second
 	// cannot be scored before its context is seen as canceled.
@@ -157,7 +159,7 @@ func TestScorerContextCancel(t *testing.T) {
 func TestScorerQueueFull(t *testing.T) {
 	gate := make(chan struct{})
 	clf := &sumClassifier{entered: make(chan struct{}, 8), gate: gate}
-	s := NewScorer(clf, newMapProvider(100), Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 1}, nil)
+	s := NewScorer(clf, newMapProvider(100), Config{MaxBatch: 1, MaxDelay: time.Hour, QueueSize: 1, Shards: 1}, nil)
 
 	// First request is pulled by the batcher and parks at the gate.
 	done1 := make(chan error, 1)
@@ -166,14 +168,14 @@ func TestScorerQueueFull(t *testing.T) {
 		done1 <- err
 	}()
 	<-clf.entered
-	// Second request fills the one queue slot.
+	// Second request fills the one admission slot.
 	done2 := make(chan error, 1)
 	go func() {
 		_, err := s.Score(context.Background(), []int64{2})
 		done2 <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.queue) == 0 {
+	for s.pending.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never reached the queue")
 		}
@@ -343,11 +345,10 @@ func TestServeMatchesPipelinePredict(t *testing.T) {
 	}
 }
 
-// BenchmarkServeScore reports serving latency through the full micro-batch
-// path: "single" issues one-customer requests back to back, "batch64"
-// issues 64-customer requests. p50-ns/req is read off the latency
-// histogram at the end of each run.
-func BenchmarkServeScore(b *testing.B) {
+// servingFixture fits a pipeline, precomputes its serving vectors, and
+// returns the vectors-backed provider — the production churnd configuration.
+func servingFixture(tb testing.TB, trees int) (*core.Pipeline, *VectorsProvider) {
+	tb.Helper()
 	cfg := synth.DefaultConfig()
 	cfg.Customers = 400
 	cfg.Months = 4
@@ -355,29 +356,189 @@ func BenchmarkServeScore(b *testing.B) {
 	months := synth.Simulate(cfg)
 	src := core.NewMemorySource(months, cfg.DaysPerMonth)
 	pipe, err := core.Fit(src, []core.WindowSpec{core.MonthSpec(2, cfg.DaysPerMonth)}, core.Config{
-		Forest: tree.ForestConfig{NumTrees: 50, MinLeafSamples: 10, Seed: 1},
+		Forest: tree.ForestConfig{NumTrees: trees, MinLeafSamples: 10, Seed: 1},
 		Seed:   1,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	win := features.MonthWindow(3, cfg.DaysPerMonth)
-	prov, err := NewFrameProvider(pipe, src, win)
+	if err := pipe.Precompute(src, features.MonthWindow(3, cfg.DaysPerMonth), 3); err != nil {
+		tb.Fatal(err)
+	}
+	prov, err := NewVectorsProvider(pipe)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
+	return pipe, prov
+}
+
+// TestScoreOneFastPath: the sync fast path (SingleScorer over precomputed
+// vectors) returns bit-identical scores to the batched queue path and to
+// PredictVectors, and allocates nothing per call.
+func TestScoreOneFastPath(t *testing.T) {
+	pipe, prov := servingFixture(t, 10)
+	want, err := pipe.PredictVectors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScorer(pipe.Classifier(), prov, Config{}, nil)
+	defer s.Close()
+	ctx := context.Background()
+	for i, id := range want.IDs {
+		got, err := s.ScoreOne(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Scores[i] {
+			t.Fatalf("ScoreOne(%d) = %v, want %v", id, got, want.Scores[i])
+		}
+	}
+	// Batched requests agree with the fast path.
+	out, err := s.Score(ctx, want.IDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.IDs {
+		if out[i] != want.Scores[i] {
+			t.Fatalf("batched score %d diverged from PredictVectors", i)
+		}
+	}
+	if s.Metrics().SyncScored.Load() == 0 {
+		t.Error("fast path never taken for single-id requests")
+	}
+	if _, err := s.ScoreOne(ctx, -999); !errors.Is(err, ErrUnknownCustomer) {
+		t.Fatalf("unknown customer err = %v", err)
+	}
+
+	id := want.IDs[0]
+	if n := testing.AllocsPerRun(300, func() {
+		if _, err := s.ScoreOne(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ScoreOne allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestFallbackProvider: the precomputed matrix wins when it knows the
+// customer; everyone else falls through to the secondary.
+func TestFallbackProvider(t *testing.T) {
+	primary := newMapProvider(3) // ids 0..2
+	secondary := &mapProvider{vecs: map[int64][]float64{
+		1:  {9, 9}, // shadowed by primary
+		50: {5, 5},
+	}}
+	fp, err := NewFallbackProvider(primary, secondary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fp.Vector(1); !ok || v[0] != 1 {
+		t.Fatalf("primary not preferred: %v %v", v, ok)
+	}
+	if v, ok := fp.Vector(50); !ok || v[0] != 5 {
+		t.Fatalf("fallback failed: %v %v", v, ok)
+	}
+	if _, ok := fp.Vector(404); ok {
+		t.Fatal("unknown customer resolved")
+	}
+	if _, err := NewFallbackProvider(primary, nil); err == nil {
+		t.Fatal("nil secondary accepted")
+	}
+}
+
+// TestScorerShardedParity hammers a multi-shard scorer from many goroutines
+// with mixed single and batch requests; every score must stay bit-identical
+// to PredictVectors.
+func TestScorerShardedParity(t *testing.T) {
+	pipe, prov := servingFixture(t, 10)
+	want, err := pipe.PredictVectors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByID := make(map[int64]float64, len(want.IDs))
+	for i, id := range want.IDs {
+		wantByID[id] = want.Scores[i]
+	}
+	s := NewScorer(pipe.Classifier(), prov, Config{Shards: 4, MaxBatch: 16, MaxDelay: 100 * time.Microsecond}, nil)
+	defer s.Close()
+
+	ids := prov.IDs()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for rep := 0; rep < 20; rep++ {
+				if g%2 == 0 {
+					id := ids[(g*31+rep*7)%len(ids)]
+					got, err := s.ScoreOne(ctx, id)
+					if err != nil || got != wantByID[id] {
+						failed.Add(1)
+						return
+					}
+				} else {
+					part := make([]int64, 9)
+					for i := range part {
+						part[i] = ids[(g*17+rep*5+i)%len(ids)]
+					}
+					out, err := s.Score(ctx, part)
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					for i, id := range part {
+						if out[i] != wantByID[id] {
+							failed.Add(1)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatal("sharded serving diverged from PredictVectors")
+	}
+}
+
+// BenchmarkServeScore reports serving latency in the production churnd
+// configuration — precomputed feature vectors plus compiled forests:
+// "single" issues one-customer requests on the sync fast path (the 0
+// allocs/op contract lives here), "batch64" issues 64-customer requests
+// through the sharded micro-batch path. p50-ns/req is read off the latency
+// histogram at the end of each run.
+func BenchmarkServeScore(b *testing.B) {
+	pipe, prov := servingFixture(b, 50)
 	ids := prov.IDs()
 
-	run := func(b *testing.B, reqSize int) {
-		s := NewScorer(pipe.Classifier(), NewCache(prov, time.Minute, nil),
-			Config{MaxBatch: 256, MaxDelay: 200 * time.Microsecond}, nil)
+	b.Run("single", func(b *testing.B) {
+		s := NewScorer(pipe.Classifier(), prov, Config{}, nil)
 		defer s.Close()
 		ctx := context.Background()
-		req := make([]int64, reqSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ScoreOne(ctx, ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(s.Metrics().LatencyNs.Quantile(0.5), "p50-ns/req")
+		b.ReportMetric(1, "req-size")
+	})
+	b.Run("batch64", func(b *testing.B) {
+		s := NewScorer(pipe.Classifier(), prov, Config{MaxBatch: 256, MaxDelay: 200 * time.Microsecond}, nil)
+		defer s.Close()
+		ctx := context.Background()
+		req := make([]int64, 64)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j := range req {
-				req[j] = ids[(i*reqSize+j)%len(ids)]
+				req[j] = ids[(i*64+j)%len(ids)]
 			}
 			if _, err := s.Score(ctx, req); err != nil {
 				b.Fatal(err)
@@ -385,8 +546,6 @@ func BenchmarkServeScore(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(s.Metrics().LatencyNs.Quantile(0.5), "p50-ns/req")
-		b.ReportMetric(float64(reqSize), "req-size")
-	}
-	b.Run("single", func(b *testing.B) { run(b, 1) })
-	b.Run("batch64", func(b *testing.B) { run(b, 64) })
+		b.ReportMetric(64, "req-size")
+	})
 }

@@ -1,0 +1,280 @@
+package tree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"telcochurn/internal/dataset"
+)
+
+// noisyDataset builds a random classification dataset with feats features,
+// classes classes, and occasional NaN cells so fitted trees route missing
+// values too.
+func noisyDataset(rng *rand.Rand, n, feats, classes int) *dataset.Dataset {
+	names := make([]string, feats)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	d := dataset.New(names)
+	for i := 0; i < n; i++ {
+		x := make([]float64, feats)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := 0
+		if x[0]+0.3*x[feats-1] > 0 {
+			y = 1
+		}
+		if classes > 2 && rng.Float64() < 0.25 {
+			y = rng.Intn(classes)
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+// probe draws a random instance, occasionally poisoning cells with NaN or
+// ±Inf, so traversal identity is checked on missing values as well.
+func probe(rng *rand.Rand, feats int) []float64 {
+	x := make([]float64, feats)
+	for j := range x {
+		switch rng.Intn(10) {
+		case 0:
+			x[j] = math.NaN()
+		case 1:
+			x[j] = math.Inf(1 - 2*rng.Intn(2))
+		default:
+			x[j] = rng.NormFloat64() * 3
+		}
+	}
+	return x
+}
+
+// TestCompiledForestBitIdentical is the tentpole property: across random
+// forests (size, depth, bins, class count) and random probes (including NaN
+// and ±Inf cells), the compiled walker returns bit-for-bit the same
+// PredictProba, Score and Predict as the pointer walker.
+func TestCompiledForestBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		feats := 2 + rng.Intn(5)
+		classes := 2 + rng.Intn(2)
+		d := noisyDataset(rng, 80+rng.Intn(300), feats, classes)
+		cfg := ForestConfig{
+			NumTrees:       1 + rng.Intn(12),
+			MaxDepth:       1 + rng.Intn(8),
+			MinLeafSamples: 1 + rng.Intn(20),
+			Seed:           seed,
+		}
+		if rng.Intn(2) == 1 {
+			cfg.MaxBins = 8 + rng.Intn(56)
+		}
+		forest, err := FitForest(d, cfg)
+		if err != nil {
+			t.Logf("seed %d: fit: %v", seed, err)
+			return false
+		}
+		cf := forest.Compile()
+		if cf.NumTrees() != forest.NumTrees() || cf.NumClasses() != forest.NumClasses() {
+			t.Logf("seed %d: shape mismatch", seed)
+			return false
+		}
+		buf := make([]float64, cf.NumClasses())
+		for i := 0; i < 50; i++ {
+			x := probe(rng, feats)
+			want := forest.PredictProba(x)
+			got := cf.PredictProba(x)
+			for c := range want {
+				if math.Float64bits(want[c]) != math.Float64bits(got[c]) {
+					t.Logf("seed %d: proba[%d] %v != %v at %v", seed, c, got[c], want[c], x)
+					return false
+				}
+			}
+			cf.PredictProbaInto(x, buf)
+			for c := range want {
+				if math.Float64bits(buf[c]) != math.Float64bits(want[c]) {
+					t.Logf("seed %d: probaInto mismatch", seed)
+					return false
+				}
+			}
+			if math.Float64bits(cf.Score(x)) != math.Float64bits(forest.Score(x)) {
+				t.Logf("seed %d: score mismatch at %v", seed, x)
+				return false
+			}
+			if cf.Predict(x) != forest.Predict(x) {
+				t.Logf("seed %d: predict mismatch at %v", seed, x)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledGBDTBitIdentical: same property for the boosted ensemble.
+func TestCompiledGBDTBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		feats := 2 + rng.Intn(5)
+		d := noisyDataset(rng, 120+rng.Intn(300), feats, 2)
+		cfg := GBDTConfig{
+			NumTrees:       1 + rng.Intn(20),
+			MaxDepth:       1 + rng.Intn(5),
+			MinLeafSamples: 1 + rng.Intn(25),
+			Seed:           seed,
+		}
+		if rng.Intn(2) == 1 {
+			cfg.MaxBins = 8 + rng.Intn(56)
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Subsample = 0.5 + rng.Float64()/2
+		}
+		model, err := FitGBDT(d, cfg)
+		if err != nil {
+			t.Logf("seed %d: fit: %v", seed, err)
+			return false
+		}
+		cg := model.Compile()
+		if cg.NumTrees() != model.NumTrees() {
+			t.Logf("seed %d: tree count mismatch", seed)
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			x := probe(rng, feats)
+			if math.Float64bits(cg.Score(x)) != math.Float64bits(model.Score(x)) {
+				t.Logf("seed %d: score mismatch at %v", seed, x)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledRoundTripPreservesScores: serialize → deserialize → compile
+// must score bit-identically to compiling the original — i.e. the artifact
+// path cannot perturb compiled scoring.
+func TestCompiledRoundTripPreservesScores(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		feats := 2 + rng.Intn(4)
+		d := noisyDataset(rng, 100+rng.Intn(200), feats, 2)
+		forest, err := FitForest(d, ForestConfig{
+			NumTrees: 1 + rng.Intn(8), MaxDepth: 1 + rng.Intn(6),
+			MinLeafSamples: 2 + rng.Intn(15), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := forest.WriteTo(&buf); err != nil {
+			return false
+		}
+		loaded, err := ReadForest(&buf)
+		if err != nil {
+			return false
+		}
+		cf, lf := forest.Compile(), loaded.Compile()
+
+		model, err := FitGBDT(d, GBDTConfig{
+			NumTrees: 1 + rng.Intn(10), MaxDepth: 1 + rng.Intn(4),
+			MinLeafSamples: 2 + rng.Intn(15), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		var gbuf bytes.Buffer
+		if _, err := model.WriteTo(&gbuf); err != nil {
+			return false
+		}
+		gloaded, err := ReadGBDT(&gbuf)
+		if err != nil {
+			return false
+		}
+		cg, lg := model.Compile(), gloaded.Compile()
+
+		for i := 0; i < 40; i++ {
+			x := probe(rng, feats)
+			if math.Float64bits(cf.Score(x)) != math.Float64bits(lf.Score(x)) {
+				t.Logf("seed %d: forest round-trip score drift at %v", seed, x)
+				return false
+			}
+			if math.Float64bits(cg.Score(x)) != math.Float64bits(lg.Score(x)) {
+				t.Logf("seed %d: gbdt round-trip score drift at %v", seed, x)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledScoreAllMatchesForest pins the batch paths too.
+func TestCompiledScoreAllMatchesForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := noisyDataset(rng, 400, 4, 2)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 10, MinLeafSamples: 5, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := forest.Compile()
+	xs := make([][]float64, 200)
+	for i := range xs {
+		xs[i] = probe(rng, 4)
+	}
+	want, got := forest.ScoreAll(xs), cf.ScoreAll(xs)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("ScoreAll[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	model, err := FitGBDT(d, GBDTConfig{NumTrees: 12, MinLeafSamples: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := model.Compile()
+	gwant, ggot := model.ScoreAll(xs), cg.ScoreAll(xs)
+	for i := range gwant {
+		if math.Float64bits(gwant[i]) != math.Float64bits(ggot[i]) {
+			t.Fatalf("GBDT ScoreAll[%d] = %v, want %v", i, ggot[i], gwant[i])
+		}
+	}
+}
+
+// TestCompiledScoreAllocFree guards the zero-allocation contract of the
+// single-instance scoring paths.
+func TestCompiledScoreAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := noisyDataset(rng, 300, 4, 2)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 8, MinLeafSamples: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := forest.Compile()
+	x := probe(rng, 4)
+	out := make([]float64, cf.NumClasses())
+	if n := testing.AllocsPerRun(200, func() { cf.Score(x) }); n != 0 {
+		t.Errorf("CompiledForest.Score allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { cf.PredictProbaInto(x, out) }); n != 0 {
+		t.Errorf("PredictProbaInto allocates %.1f/op, want 0", n)
+	}
+	model, err := FitGBDT(d, GBDTConfig{NumTrees: 10, MinLeafSamples: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := model.Compile()
+	if n := testing.AllocsPerRun(200, func() { cg.Score(x) }); n != 0 {
+		t.Errorf("CompiledGBDT.Score allocates %.1f/op, want 0", n)
+	}
+}

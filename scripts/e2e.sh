@@ -138,4 +138,41 @@ N4="$(wc -l < "$WORK/batch4.csv")"
 [ "$N4" -gt 0 ] || { echo "e2e: sharded batch score produced no rows"; exit 1; }
 echo "   trained and scored $N4 customers from the sharded layout"
 
+echo "== precomputed vectors (train -precompute) =="
+# The same training config with -precompute must not change a single score:
+# the embedded snapshot is the strict serving frame, persisted.
+TRAIN_OUT="$("$WORK/churnctl" train -warehouse "$WORK/wh4" -out "$WORK/model4p.tcpa" -trees 20 -precompute)"
+echo "$TRAIN_OUT" | grep -q "precomputed" \
+    || { echo "e2e: train -precompute did not report a snapshot"; exit 1; }
+"$WORK/churnctl" score -warehouse "$WORK/wh4" -model "$WORK/model4p.tcpa" -top 0 -full \
+    | tail -n +2 > "$WORK/batch4p.csv"
+cmp -s "$WORK/batch4.csv" "$WORK/batch4p.csv" \
+    || { echo "e2e: precomputed scores differ from frame scores"; diff "$WORK/batch4.csv" "$WORK/batch4p.csv" | head -5; exit 1; }
+echo "   precomputed-vector scores bit-identical to the frame path"
+
+# The snapshot serves with no warehouse at all — churnctl and churnd both —
+# while the plain artifact still refuses.
+rm -rf "$WORK/wh4"
+"$WORK/churnctl" score -warehouse "$WORK/wh4" -model "$WORK/model4p.tcpa" -top 0 -full \
+    | tail -n +2 > "$WORK/nowh.csv"
+cmp -s "$WORK/batch4.csv" "$WORK/nowh.csv" \
+    || { echo "e2e: warehouse-free scores differ from frame scores"; exit 1; }
+if "$WORK/churnctl" score -warehouse "$WORK/wh4" -model "$WORK/model4.tcpa" -top 5 > /dev/null 2>&1; then
+    echo "e2e: plain artifact scored without a warehouse"
+    exit 1
+fi
+kill "$CHURND_PID"
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+"$WORK/churnd" -artifact "$WORK/model4p.tcpa" -warehouse "$WORK/wh4" -addr "127.0.0.1:$PORT" &
+CHURND_PID=$!
+wait_healthy
+curl -sf "http://127.0.0.1:$PORT/readyz" | grep -q '"source":"vectors"' \
+    || { echo "e2e: churnd did not serve from the vector snapshot"; exit 1; }
+VID="$(head -1 "$WORK/batch4.csv" | cut -d, -f2)"
+VSCORE="$(head -1 "$WORK/batch4.csv" | cut -d, -f3)"
+curl -sf -X POST -d "{\"id\":$VID}" "http://127.0.0.1:$PORT/v1/score" | grep -q "$VSCORE" \
+    || { echo "e2e: warehouse-free served score mismatch"; exit 1; }
+echo "   snapshot served without a warehouse, scores unchanged"
+
 echo "e2e: OK"
