@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
 	"time"
 
 	"telcochurn/internal/core"
 	"telcochurn/internal/features"
 	"telcochurn/internal/procstat"
-	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
 )
 
@@ -19,11 +19,9 @@ import (
 // reports throughput and peak memory — the scale smoke test's workhorse.
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	sf := addSourceFlags(fs)
 	month := fs.Int("month", 0, "feature month (0 = latest customers partition)")
 	groupsFlag := fs.String("groups", "default", "feature groups to build (default = F1-F6; F7-F9 need a fitted model)")
-	workers := fs.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
-	shards := fs.Int("shards", 0, "shard count to build with (0 = detect from layout)")
 	rssLimitMB := fs.Int("rss-limit-mb", 0, "fail if peak RSS exceeds this many MB (0 = no limit)")
 	checksum := fs.Bool("checksum", false, "print a frame checksum (bit-exact across shard counts and workers)")
 	fs.Parse(args)
@@ -32,7 +30,7 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	wh, err := store.Open(*dir)
+	src, wh, days, err := sf.source("build")
 	if err != nil {
 		return err
 	}
@@ -42,26 +40,28 @@ func cmdBuild(args []string) error {
 			return err
 		}
 		if len(months) == 0 {
-			return fmt.Errorf("no customers partitions in %s", *dir)
+			return fmt.Errorf("no customers partitions in %s", *sf.dir)
 		}
 		*month = months[len(months)-1]
 	}
-	if *shards == 0 {
-		if *shards, err = wh.DetectShards(synth.TableCustomers); err != nil {
-			return err
-		}
-	}
-	sw, err := wh.Sharded(*shards)
-	if err != nil {
-		return err
-	}
-	days := synth.DefaultConfig().DaysPerMonth
-	src := core.NewShardedWarehouseSource(sw, days)
 	win := features.MonthWindow(*month, days)
-	p := core.NewFrameBuilder(core.Config{Groups: groups, Workers: *workers})
+	p := core.NewFrameBuilder(core.Config{Groups: groups, Workers: *sf.workers})
 
 	start := time.Now()
-	frame, stats, err := p.BuildFrameSharded(src, win)
+	var frame *features.Frame
+	var stats features.ShardStats
+	if *sf.degraded {
+		// The degraded assembler is whole-window: missing tables are imputed
+		// around instead of failing the build.
+		var deg features.Degradation
+		frame, deg, err = p.BuildFrameDegraded(src, win)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "degraded groups: %s\n", deg)
+		}
+	} else {
+		ss, _ := core.AsSharded(src)
+		frame, stats, err = p.BuildFrameSharded(ss, win)
+	}
 	if err != nil {
 		return err
 	}

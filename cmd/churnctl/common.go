@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"telcochurn/internal/core"
+	"telcochurn/internal/store"
+	"telcochurn/internal/synth"
+)
+
+// sourceFlags are the warehouse-access knobs shared by every subcommand
+// that opens a warehouse (inspect, build, train, score, ingest): the
+// resilience and parallelism flags spell and behave the same everywhere,
+// and match churnd's serving flags.
+type sourceFlags struct {
+	dir      *string
+	workers  *int
+	shards   *int
+	retries  *int
+	degraded *bool
+}
+
+// addSourceFlags registers the shared warehouse flags on fs.
+func addSourceFlags(fs *flag.FlagSet) *sourceFlags {
+	return &sourceFlags{
+		dir:      fs.String("warehouse", "./warehouse", "warehouse directory"),
+		workers:  fs.Int("workers", 0, "parallelism for feature builds (0 = all cores)"),
+		shards:   fs.Int("shards", 0, "shard count for sharded reads (0 = detect from layout)"),
+		retries:  fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)"),
+		degraded: fs.Bool("degraded", false, "tolerate unavailable raw tables where the subcommand supports imputation"),
+	}
+}
+
+// open opens the warehouse directory.
+func (f *sourceFlags) open() (*store.Warehouse, error) { return store.Open(*f.dir) }
+
+// detectShards resolves the effective shard count: the -shards override,
+// or the customers table's on-disk layout.
+func (f *sourceFlags) detectShards(wh *store.Warehouse) (int, error) {
+	if *f.shards != 0 {
+		return *f.shards, nil
+	}
+	return wh.DetectShards(synth.TableCustomers)
+}
+
+// source opens the warehouse as a retrying, shard-aware pipeline source:
+// reads retry with seeded backoff per -retries, and AsSharded callers get
+// the bounded-memory sharded path at the layout's (or -shards') count.
+// Whole-window reads stay bit-identical for any shard count.
+func (f *sourceFlags) source(label string) (*core.RetrySource, *store.Warehouse, int, error) {
+	wh, err := f.open()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	days := synth.DefaultConfig().DaysPerMonth
+	shards, err := f.detectShards(wh)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	sw, err := wh.Sharded(shards)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rs := core.NewRetrySource(core.NewShardedWarehouseSource(sw, days), core.RetryConfig{
+		MaxAttempts: *f.retries,
+		OnRetry: func(op string, attempt int, delay time.Duration, err error) {
+			fmt.Fprintf(os.Stderr, "%s: retrying %s (attempt %d, backoff %v): %v\n", label, op, attempt, delay, err)
+		},
+	})
+	return rs, wh, days, nil
+}

@@ -34,6 +34,7 @@ import (
 	"telcochurn/internal/experiments"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
 )
 
 func main() {
@@ -61,6 +62,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "score":
 		err = cmdScore(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -85,7 +88,12 @@ func usage() {
   churnctl features                          wide-table feature dictionary (paper Fig. 4)
   churnctl train -warehouse DIR -out FILE    fit the pipeline and save a versioned artifact
   churnctl score -warehouse DIR -model FILE  ranked churner list from a saved artifact
+  churnctl ingest -warehouse DIR [-events F|-synth N] [-addr URL] [-merge]
+                                             append raw events to the event log (or POST to churnd);
+                                             -merge folds the log into the monthly partitions
   churnctl run ...                           deprecated alias for eval
+
+every warehouse-opening subcommand also takes -workers, -shards, -retries, -degraded
 
 experiments: %v
 `, experiments.IDs())
@@ -263,10 +271,10 @@ func cmdEval(args []string) error {
 
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
-	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	sf := addSourceFlags(fs)
 	fs.Parse(args)
 
-	wh, err := store.Open(*dir)
+	wh, err := sf.open()
 	if err != nil {
 		return err
 	}
@@ -284,21 +292,15 @@ func cmdInspect(args []string) error {
 			return err
 		}
 		// Count rows block by block so inspecting a sharded out-of-core
-		// warehouse never loads a whole month at once.
-		br, err := wh.OpenBlocks(name, months)
+		// warehouse never loads a whole month at once. With -degraded an
+		// unreadable table is reported instead of aborting the walk.
+		total, err := countRows(wh, name, months)
 		if err != nil {
-			return err
-		}
-		total := 0
-		for {
-			b, err := br.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
+			if !*sf.degraded {
 				return err
 			}
-			total += b.Table.NumRows()
+			fmt.Printf("%-12s partitions=%d UNAVAILABLE (%v)\n", name, len(months), err)
+			continue
 		}
 		if shards > 1 {
 			fmt.Printf("%-12s partitions=%d rows=%d shards=%d\n", name, len(months), total, shards)
@@ -306,5 +308,34 @@ func cmdInspect(args []string) error {
 			fmt.Printf("%-12s partitions=%d rows=%d\n", name, len(months), total)
 		}
 	}
+	if elog, err := wh.EventLog(); err == nil {
+		if seq := elog.LastSeq(); seq > 0 {
+			pending := 0
+			elog.Replay(0, func(_ uint64, _ string, t *table.Table) error {
+				pending += t.NumRows()
+				return nil
+			})
+			fmt.Printf("%-12s segments=%d pending_rows=%d (churnctl ingest -merge folds them in)\n", "events", seq, pending)
+		}
+	}
 	return nil
+}
+
+// countRows streams a table's blocks and sums row counts.
+func countRows(wh *store.Warehouse, name string, months []int) (int, error) {
+	br, err := wh.OpenBlocks(name, months)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		total += b.Table.NumRows()
+	}
 }

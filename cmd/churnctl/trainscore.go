@@ -6,14 +6,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"telcochurn/internal/core"
 	"telcochurn/internal/eval"
 	"telcochurn/internal/experiments"
 	"telcochurn/internal/features"
 	"telcochurn/internal/sampling"
-	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
 )
 
@@ -47,26 +45,11 @@ func parseGroups(spec string) ([]features.Group, error) {
 	return out, nil
 }
 
-// openSource opens a warehouse and returns it as a pipeline source plus the
-// feature months it holds.
-func openSource(dir string) (*core.WarehouseSource, []int, int, error) {
-	wh, err := store.Open(dir)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	monthsAvail, err := wh.Months(synth.TableTruth)
-	if err != nil || len(monthsAvail) == 0 {
-		return nil, nil, 0, fmt.Errorf("empty warehouse %s (run churnctl generate)", dir)
-	}
-	days := synth.DefaultConfig().DaysPerMonth
-	return core.NewWarehouseSource(wh, days), monthsAvail, days, nil
-}
-
 // cmdTrain fits the full pipeline on a warehouse per Figure 6 and saves a
 // versioned artifact: config, schema, fitted feature models, classifier.
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	sf := addSourceFlags(fs)
 	out := fs.String("out", "churn-model.tcpa", "artifact output path")
 	featureMonth := fs.Int("feature-month", 0, "newest training feature month (0 = auto: last-2)")
 	volume := fs.Int("volume", 1, "training months to accumulate")
@@ -74,18 +57,24 @@ func cmdTrain(args []string) error {
 	minLeaf := fs.Int("minleaf", 25, "minimum samples per leaf")
 	groupSpec := fs.String("groups", "default", "comma-separated feature groups (F1..F9, default, all)")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism for feature build and training (0 = all cores)")
 	bins := fs.Int("bins", 0, "histogram bins for forest split search (0 = exact splits, max 255)")
 	precompute := fs.Bool("precompute", false, "embed the latest month's feature vectors in the artifact (serve without a warehouse)")
 	fs.Parse(args)
 
+	if *sf.degraded {
+		fmt.Fprintln(os.Stderr, "train: -degraded has no effect here — training needs healthy raw tables (labels cannot be imputed)")
+	}
 	groups, err := parseGroups(*groupSpec)
 	if err != nil {
 		return err
 	}
-	src, monthsAvail, days, err := openSource(*dir)
+	src, wh, days, err := sf.source("train")
 	if err != nil {
 		return err
+	}
+	monthsAvail, err := wh.Months(synth.TableTruth)
+	if err != nil || len(monthsAvail) == 0 {
+		return fmt.Errorf("empty warehouse %s (run churnctl generate)", *sf.dir)
 	}
 	if len(monthsAvail) < 3 {
 		return fmt.Errorf("train: warehouse needs >= 3 months of data (have %v)", monthsAvail)
@@ -104,7 +93,7 @@ func cmdTrain(args []string) error {
 	// training and experiment runs agree on every derived setting.
 	cfg := experiments.Options{
 		Trees: *trees, MinLeaf: *minLeaf, Seed: *seed,
-		Workers: *workers, Bins: *bins,
+		Workers: *sf.workers, Bins: *bins,
 	}.CoreConfig()
 	cfg.Groups = groups
 	cfg.Imbalance = sampling.WeightedInstance
@@ -116,13 +105,9 @@ func cmdTrain(args []string) error {
 	if *precompute {
 		// The snapshot serves the same month scoring would pick by default:
 		// the latest customer snapshot, not the label-lagged training month.
-		wh, err := store.Open(*dir)
-		if err != nil {
-			return err
-		}
 		custMonths, err := wh.Months(synth.TableCustomers)
 		if err != nil || len(custMonths) == 0 {
-			return fmt.Errorf("precompute: no customer snapshots in %s", *dir)
+			return fmt.Errorf("precompute: no customer snapshots in %s", *sf.dir)
 		}
 		serveMonth := custMonths[len(custMonths)-1]
 		if err := pipe.Precompute(src, features.MonthWindow(serveMonth, days), serveMonth); err != nil {
@@ -146,36 +131,32 @@ func cmdTrain(args []string) error {
 // and the degradation mask is reported on stderr (the CSV stays on stdout).
 func cmdScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
-	dir := fs.String("warehouse", "./warehouse", "warehouse directory")
+	sf := addSourceFlags(fs)
 	model := fs.String("model", "churn-model.tcpa", "artifact path")
 	month := fs.Int("month", 0, "feature month to score (0 = latest)")
 	top := fs.Int("top", 50, "list length (0 = every customer)")
 	full := fs.Bool("full", false, "print scores at full precision (exact parity with churnd)")
-	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
-	degraded := fs.Bool("degraded", false, "score even when raw tables are unavailable (impute their feature groups)")
-	retries := fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)")
 	fs.Parse(args)
 
 	pipe, err := core.LoadFile(*model)
 	if err != nil {
 		return err
 	}
-	pipe.SetWorkers(*workers)
+	pipe.SetWorkers(*sf.workers)
 	vecs := pipe.Vectors()
 
 	// The warehouse is optional when the artifact carries a precomputed
 	// snapshot, so open it tolerantly and remember why it is unusable.
 	var monthsAvail []int
-	wh, whErr := store.Open(*dir)
+	src, wh, days, whErr := sf.source("score")
 	if whErr == nil {
 		// Scoring needs no labels, so the customer snapshot — the one table
 		// degraded mode cannot impute — anchors month discovery.
 		monthsAvail, whErr = wh.Months(synth.TableCustomers)
 		if whErr == nil && len(monthsAvail) == 0 {
-			whErr = fmt.Errorf("empty warehouse %s (run churnctl generate)", *dir)
+			whErr = fmt.Errorf("empty warehouse %s (run churnctl generate)", *sf.dir)
 		}
 	}
-	days := synth.DefaultConfig().DaysPerMonth
 	m := *month
 	if m == 0 {
 		switch {
@@ -189,7 +170,7 @@ func cmdScore(args []string) error {
 	}
 
 	var res *core.Predictions
-	if vecs != nil && vecs.Month() == m && !*degraded {
+	if vecs != nil && vecs.Month() == m && !*sf.degraded {
 		// The snapshot holds the strict frame rows for this month, so
 		// scoring it skips the warehouse entirely and stays bit-identical
 		// to the frame path (and to churnd over the same artifact).
@@ -198,22 +179,22 @@ func cmdScore(args []string) error {
 		if whErr != nil {
 			return whErr
 		}
-		src := core.NewRetrySource(core.NewWarehouseSource(wh, days), core.RetryConfig{
-			MaxAttempts: *retries,
-			OnRetry: func(op string, attempt int, delay time.Duration, err error) {
-				fmt.Fprintf(os.Stderr, "score: retrying %s (attempt %d, backoff %v): %v\n", op, attempt, delay, err)
-			},
-		})
-		if *degraded {
-			res, err = pipe.PredictDegraded(src, features.MonthWindow(m, days))
+		// Always the whole-window build: it is the path precompute, churnd
+		// and the parity contract are anchored on. The sharded build
+		// (churnctl build, PredictSharded) is bit-stable across shard
+		// counts but canonicalizes graph features differently, so scoring
+		// through it would break serving parity for F4-F6.
+		win := features.MonthWindow(m, days)
+		if *sf.degraded {
+			res, err = pipe.PredictDegraded(src, win)
 		} else {
-			res, err = pipe.Predict(src, features.MonthWindow(m, days))
+			res, err = pipe.Predict(src, win)
 		}
 	}
 	if err != nil {
 		return err
 	}
-	if *degraded {
+	if *sf.degraded {
 		fmt.Fprintf(os.Stderr, "degraded groups: %s\n", res.Degraded)
 	}
 	preds := make([]eval.Prediction, len(res.IDs))

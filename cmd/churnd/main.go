@@ -1,33 +1,49 @@
 // Command churnd serves a trained pipeline artifact over HTTP — the online
 // half of the paper's system, where the monthly batch scorer becomes a
-// long-lived scoring service:
+// long-lived scoring service that also takes writes:
 //
 //	churnctl train -warehouse ./warehouse -out churn-model.tcpa
 //	churnd -artifact churn-model.tcpa -warehouse ./warehouse
 //	curl -d '{"ids":[12,99]}' localhost:8080/v1/score
+//	curl -d '{"events":[{"table":"recharges","imsi":12,"month":2,"day":9,"fields":{"amount":30}}]}' localhost:8080/v1/events
 //
 // Endpoints:
 //
 //	POST /v1/score      {"id":N} or {"ids":[N,...]} -> churn scores
+//	POST /v1/events     append raw BSS/OSS event records; affected customers'
+//	                    serving vectors refresh incrementally within the call
+//	POST /v1/refresh    rebuild the serving base over the event log and
+//	                    hot-swap vectors atomically (graph/topic groups catch up)
 //	GET  /v1/customers  scorable customer ids (?limit=N caps the list)
 //	GET  /healthz       liveness + model identity (200 while the process is up)
 //	GET  /readyz        readiness (503 + Retry-After until scores are servable)
-//	GET  /metrics       request/latency (p50/p95/p99)/cache/retry/degradation
+//	GET  /metrics       request/latency (p50/p95/p99)/cache/retry/ingest/degradation
 //
-// Serving path: artifacts carrying a precomputed feature-vector snapshot
-// (churnctl train -precompute) serve single scores synchronously — index
-// lookup plus a compiled-forest walk, zero allocations — with the warehouse
-// frame as fallback for customers outside the snapshot; batch requests
-// micro-batch onto per-core shards. Without a snapshot every vector comes
-// from the frame path. Either way scores are bit-identical to `churnctl
-// score` over the same artifact and month.
+// Every error renders one envelope: {"error":{"code","message","retryable"}}
+// with 400 invalid_request, 404 unknown_customer, 405 method_not_allowed,
+// 429 overloaded / refresh_in_progress, 503 unavailable, 504 timeout.
+//
+// Serving path: vectors resolve through a single provider chain — live event
+// overlay, then the artifact's precomputed snapshot (churnctl train
+// -precompute), then the warehouse frame — reported uniformly by /healthz,
+// /readyz and /metrics. Scores stay bit-identical to `churnctl score` over
+// the same artifact, month and merged events.
+//
+// Streaming ingest: events append durably to the warehouse event log first,
+// then fold into the incremental feature maintainer; each affected
+// customer's full serving row is recomputed (per-customer groups exactly,
+// graph groups at their snapshot values) and installed as an overlay
+// override, so the next score reflects the event within the same second.
+// POST /v1/refresh rebuilds the whole frame with the logged events overlaid
+// (graph groups included) and swaps it under the overlay without dropping
+// requests; `churnctl ingest -merge` folds the log into the monthly
+// partitions for the batch path.
 //
 // Resilience: source reads retry with seeded-jitter backoff (-retries);
 // with -degraded the serving frame builds even when raw tables are missing
-// (their feature groups are imputed and reported in /healthz, /readyz,
-// /metrics and each score response). SIGHUP hot-reloads the artifact and
-// warehouse window with validate-then-swap semantics: a reload that fails
-// to build leaves the previous engine serving untouched.
+// (their feature groups are imputed and reported). SIGHUP hot-reloads the
+// artifact and warehouse window with validate-then-swap semantics: a reload
+// that fails to build leaves the previous engine serving untouched.
 package main
 
 import (
@@ -42,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -51,6 +68,7 @@ import (
 	"telcochurn/internal/serve"
 	"telcochurn/internal/store"
 	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
 )
 
 func main() {
@@ -114,15 +132,17 @@ func main() {
 				log.Printf("churnd: reload rejected, previous engine keeps serving: %v", err)
 			} else {
 				e := svc.cur.Load()
+				info := e.overlay.Info()
 				log.Printf("churnd: reloaded %s (month %d, %d customers, %s path, degraded: %s)",
-					*artifact, e.month, e.rows, e.source, e.deg)
+					*artifact, e.month, info.Rows, info.Source, info.Degradation)
 			}
 		}
 	}()
 
 	e := svc.cur.Load()
-	log.Printf("churnd: serving %s (month %d, %d customers, %s path, schema %08x, degraded: %s) on %s",
-		e.model, e.month, e.rows, e.source, e.pipe.SchemaChecksum(), e.deg, *addr)
+	info := e.overlay.Info()
+	log.Printf("churnd: serving %s (month %d, %d customers, %s path, schema %08x, degraded: %s, ingest: %v) on %s",
+		e.model, e.month, info.Rows, info.Source, e.pipe.SchemaChecksum(), info.Degradation, e.ingestReady(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("churnd: ", err)
 	}
@@ -143,19 +163,39 @@ type serviceOpts struct {
 
 // engine is the hot-swappable serving unit: one artifact serving one month.
 // Reloads build a whole new engine and atomically replace the pointer;
-// in-flight requests finish on whichever engine they started.
+// in-flight requests finish on whichever engine they started. A /v1/refresh
+// swaps only the overlay's inner provider and the frame pointer — the
+// scorer and overlay survive, so refreshes never drop requests.
 type engine struct {
 	pipe   *core.Pipeline
 	scorer *serve.Scorer
-	model  string
-	month  int
-	// source names the vector path in play: "vectors" (precomputed snapshot
-	// only), "frame" (warehouse build only), or "vectors+frame" (snapshot
-	// first, frame fallback for customers outside it).
-	source string
-	deg    features.Degradation
-	ids    []int64
-	rows   int
+	// overlay tops the provider chain; every handler reports through its
+	// Info() so the active path and degradation read uniformly everywhere.
+	overlay *serve.Overlay
+	// vp is the artifact's precomputed snapshot (nil without -precompute);
+	// useVectors records whether it matches the served month.
+	vp         *serve.VectorsProvider
+	useVectors bool
+	// frame is the warehouse-built provider behind the overlay; refresh
+	// replaces it. Nil when serving the snapshot alone.
+	frame atomic.Pointer[serve.FrameProvider]
+	// Ingest state: the durable event log, the incremental maintainer, and
+	// the retry-wrapped warehouse source refresh rebuilds from. All nil
+	// when the warehouse is unavailable.
+	log *store.EventLog
+	inc *core.Incremental
+	src core.Source
+	win features.Window
+	// buildSeq is the event-log sequence the engine's frame was built
+	// through (events <= buildSeq are already in the frame).
+	buildSeq uint64
+	model    string
+	month    int
+}
+
+// ingestReady reports whether the engine can take POST /v1/events.
+func (e *engine) ingestReady() bool {
+	return e.log != nil && e.inc != nil && e.frame.Load() != nil
 }
 
 // service wires the current engine, the reload machinery and the metrics
@@ -164,11 +204,17 @@ type service struct {
 	opts    serviceOpts
 	metrics *serve.Metrics
 	cur     atomic.Pointer[engine]
+	// ingestMu serializes event folding and provider swaps; appliedSeq is
+	// the log sequence folded into the current engine's maintainer
+	// (guarded by ingestMu).
+	ingestMu   sync.Mutex
+	appliedSeq uint64
+	refreshing atomic.Bool
 }
 
-// buildService loads the artifact and builds the serving frame for one
-// warehouse month. The frame is the batch feature path reused verbatim, so
-// every served vector is the exact row churnctl score would build.
+// buildService loads the artifact, builds the serving base for one
+// warehouse month and folds any unmerged event log through the maintainer,
+// so a restart resumes exactly where the log left off.
 func buildService(opts serviceOpts) (*service, error) {
 	s := &service{opts: opts, metrics: &serve.Metrics{}}
 	e, err := s.buildEngine()
@@ -176,13 +222,19 @@ func buildService(opts serviceOpts) (*service, error) {
 		return nil, err
 	}
 	s.cur.Store(e)
+	s.ingestMu.Lock()
+	s.appliedSeq = 0
+	if _, _, err := s.foldLocked(); err != nil && !errors.Is(err, errIngestUnavailable) {
+		log.Printf("churnd: event log replay: %v", err)
+	}
+	s.ingestMu.Unlock()
 	return s, nil
 }
 
 // buildEngine assembles a fully validated engine from the current opts:
 // artifact loaded and decoded, vector source chosen, serving frame built
-// when the warehouse allows it. Any failure leaves no side effects, which is
-// what makes reload rollback free.
+// over the unmerged event log when the warehouse allows it. Any failure
+// leaves no side effects, which is what makes reload rollback free.
 func (s *service) buildEngine() (*engine, error) {
 	opts := s.opts
 	pipe, err := core.LoadFile(opts.artifact)
@@ -220,7 +272,14 @@ func (s *service) buildEngine() (*engine, error) {
 			return nil, whErr
 		}
 	}
-	useVectors := vp != nil && vp.Month() == month
+	e := &engine{
+		pipe:       pipe,
+		vp:         vp,
+		useVectors: vp != nil && vp.Month() == month,
+		model:      pipe.Classifier().Name(),
+		month:      month,
+		win:        features.MonthWindow(month, days),
+	}
 
 	var frameProv *serve.FrameProvider
 	if whErr == nil {
@@ -231,73 +290,146 @@ func (s *service) buildEngine() (*engine, error) {
 				log.Printf("churnd: retrying %s (attempt %d, backoff %v): %v", op, attempt, delay, err)
 			},
 		})
-		win := features.MonthWindow(month, days)
-		if opts.degraded {
-			frameProv, err = serve.NewFrameProviderDegraded(pipe, rs, win)
+		e.src = rs
+		// The durable event log rides inside the warehouse; the serving
+		// frame builds over it (base partitions + unmerged events, the
+		// exact post-merge layout), so a restart loses nothing.
+		var buildSrc core.Source = rs
+		if elog, logErr := wh.EventLog(); logErr != nil {
+			log.Printf("churnd: event log unavailable, ingest disabled: %v", logErr)
 		} else {
-			frameProv, err = serve.NewFrameProvider(pipe, rs, win)
+			e.log = elog
+			if ov, ovErr := core.NewEventOverlaySource(rs, elog); ovErr != nil {
+				log.Printf("churnd: event overlay unavailable, serving base partitions only: %v", ovErr)
+			} else {
+				buildSrc = ov
+				e.buildSeq = ov.Seq()
+			}
+		}
+		if opts.degraded {
+			frameProv, err = serve.NewFrameProviderDegraded(pipe, buildSrc, e.win)
+		} else {
+			frameProv, err = serve.NewFrameProvider(pipe, buildSrc, e.win)
 		}
 		s.metrics.RetriesExhausted.Add(rs.Exhausted())
 		if err != nil {
-			if !useVectors {
+			if !e.useVectors {
 				return nil, fmt.Errorf("build serving frame for month %d: %w", month, err)
 			}
 			log.Printf("churnd: frame path unavailable, serving the precomputed snapshot alone: %v", err)
 			frameProv = nil
 		}
-	} else if !useVectors {
+		if frameProv != nil && e.log != nil {
+			// The maintainer folds streamed events between full builds; its
+			// tables start at the base partitions and the fold (foldLocked)
+			// replays the log over them.
+			inc, incErr := core.NewIncremental(pipe, rs, e.win)
+			if incErr != nil {
+				log.Printf("churnd: incremental maintenance unavailable, ingest disabled: %v", incErr)
+			} else {
+				e.inc = inc
+			}
+		}
+	} else if !e.useVectors {
 		return nil, whErr
 	} else {
 		log.Printf("churnd: warehouse unavailable, serving the precomputed snapshot alone: %v", whErr)
 	}
+	e.frame.Store(frameProv)
 
-	var (
-		prov   serve.VectorProvider
-		source string
-		deg    features.Degradation
-		ids    []int64
-	)
-	switch {
-	case useVectors && frameProv != nil:
-		// Snapshot first — an index lookup, zero allocations — with the frame
-		// answering for customers outside it; the frame keeps its TTL cache
-		// since its lookups cost a map probe plus a row copy.
-		fb, err := serve.NewFallbackProvider(vp, serve.NewCache(frameProv, opts.cacheTTL, s.metrics))
-		if err != nil {
-			return nil, err
-		}
-		prov, source, deg, ids = fb, "vectors+frame", frameProv.Degradation(), frameProv.IDs()
-	case useVectors:
-		prov, source, ids = vp, "vectors", vp.IDs()
-	default:
-		prov, source, deg, ids = serve.NewCache(frameProv, opts.cacheTTL, s.metrics), "frame", frameProv.Degradation(), frameProv.IDs()
+	inner, err := s.chainFor(e, frameProv)
+	if err != nil {
+		return nil, err
 	}
-	s.metrics.DegradedMask.Store(uint64(deg))
-	return &engine{
-		pipe:   pipe,
-		scorer: serve.NewScorer(pipe.Classifier(), prov, opts.cfg, s.metrics),
-		model:  pipe.Classifier().Name(),
-		month:  month,
-		source: source,
-		deg:    deg,
-		ids:    ids,
-		rows:   len(ids),
-	}, nil
+	e.overlay = serve.NewOverlay(inner, s.metrics)
+	e.scorer = serve.NewScorer(pipe.Classifier(), e.overlay, opts.cfg, s.metrics)
+	s.metrics.DegradedMask.Store(uint64(e.overlay.Info().Degradation))
+	s.metrics.RefreshUnixNano.Store(time.Now().UnixNano())
+	return e, nil
 }
 
-// reload builds a fresh engine from the same options (re-reading artifact
-// and warehouse) and swaps it in only if the build fully succeeds; a failed
-// build counts a reload_failure and leaves the old engine serving. The old
-// scorer is closed after the swap: requests already queued on it complete,
-// and any that race the closure shed with 503 + Retry-After like any other
-// transient overload.
+// chainFor composes the immutable provider chain under the overlay from
+// the available leaves: precomputed snapshot first (an index lookup, zero
+// allocations) with the TTL-cached frame answering for customers outside
+// it; either leaf alone when the other is unavailable.
+func (s *service) chainFor(e *engine, frameProv *serve.FrameProvider) (serve.Provider, error) {
+	switch {
+	case e.useVectors && frameProv != nil:
+		return serve.NewFallbackProvider(e.vp, serve.NewCache(frameProv, s.opts.cacheTTL, s.metrics))
+	case e.useVectors:
+		return e.vp, nil
+	case frameProv != nil:
+		return serve.NewCache(frameProv, s.opts.cacheTTL, s.metrics), nil
+	default:
+		return nil, errors.New("no serving path: neither warehouse frame nor precomputed vectors")
+	}
+}
+
+// errIngestUnavailable marks an engine that cannot take writes (no
+// warehouse, no event log, or no maintainer).
+var errIngestUnavailable = errors.New("ingest unavailable: serving without a warehouse event log")
+
+// foldLocked replays every event-log segment after appliedSeq through the
+// maintainer and installs refreshed serving rows for the affected
+// customers as overlay overrides. Callers hold ingestMu. Returns the
+// number of event rows applied and customers refreshed.
+func (s *service) foldLocked() (int, int, error) {
+	e := s.cur.Load()
+	if e == nil || !e.ingestReady() {
+		return 0, 0, errIngestUnavailable
+	}
+	before := e.inc.Maintainer().Applied()
+	affected := map[int64]struct{}{}
+	err := e.log.Replay(s.appliedSeq, func(seq uint64, name string, t *table.Table) error {
+		ids, _, ierr := e.inc.Ingest(name, t)
+		if ierr != nil {
+			// A malformed or non-streamable logged table cannot stall the
+			// fold forever; it is skipped here and surfaces at merge time.
+			log.Printf("churnd: skipping logged %s events at seq %d: %v", name, seq, ierr)
+		}
+		for _, id := range ids {
+			affected[id] = struct{}{}
+		}
+		if seq > s.appliedSeq {
+			s.appliedSeq = seq
+		}
+		return nil
+	})
+	frame := e.frame.Load()
+	for id := range affected {
+		base, ok := frame.Vector(id)
+		if !ok {
+			continue
+		}
+		row, rerr := e.inc.Refresh(id, base)
+		if rerr != nil {
+			log.Printf("churnd: refresh imsi %d: %v", id, rerr)
+			continue
+		}
+		e.overlay.Override(id, row)
+	}
+	return e.inc.Maintainer().Applied() - before, len(affected), err
+}
+
+// reload builds a fresh engine from the same options (re-reading artifact,
+// warehouse and event log) and swaps it in only if the build fully
+// succeeds; a failed build counts a reload_failure and leaves the old
+// engine serving. The old scorer is closed after the swap: requests
+// already queued on it complete, and any that race the closure shed with
+// 503 + Retry-After like any other transient overload.
 func (s *service) reload() error {
 	e, err := s.buildEngine()
 	if err != nil {
 		s.metrics.ReloadFailures.Add(1)
 		return err
 	}
+	s.ingestMu.Lock()
 	old := s.cur.Swap(e)
+	s.appliedSeq = 0
+	if _, _, ferr := s.foldLocked(); ferr != nil && !errors.Is(ferr, errIngestUnavailable) {
+		log.Printf("churnd: event log replay after reload: %v", ferr)
+	}
+	s.ingestMu.Unlock()
 	if old != nil {
 		old.scorer.Close()
 	}
@@ -316,12 +448,58 @@ func (s *service) Close() {
 func (s *service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/v1/events", s.handleEvents)
+	mux.HandleFunc("/v1/refresh", s.handleRefresh)
 	mux.HandleFunc("/v1/customers", s.handleCustomers)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
+
+// ---- error envelope ----
+
+// apiError is the one error shape every endpoint renders:
+// {"error":{"code":"...","message":"...","retryable":bool}}.
+type apiError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// writeError renders the envelope; retryable errors carry Retry-After so
+// well-behaved clients back off instead of hammering.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryable bool) {
+	if retryable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: msg, Retryable: retryable}})
+}
+
+// scoreStatus maps scoring failures onto the envelope: a full queue is
+// load-shed the client should retry (429), a closed scorer means a reload
+// is mid-swap (503), a dead deadline is a timeout (504), an unknown
+// customer is the caller's data (404).
+func scoreStatus(err error) (int, string, bool) {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests, "overloaded", true
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable, "unavailable", true
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout", true
+	case errors.Is(err, serve.ErrUnknownCustomer):
+		return http.StatusNotFound, "unknown_customer", false
+	default:
+		return http.StatusInternalServerError, "internal", false
+	}
+}
+
+// ---- handlers ----
 
 // scoreRequest accepts either a single customer or a batch.
 type scoreRequest struct {
@@ -339,48 +517,39 @@ type scoreResponse struct {
 	Degraded string `json:"degraded,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 func (s *service) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", false)
 		return
 	}
 	var req scoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error(), false)
 		return
 	}
 	single := req.ID != nil
 	ids := req.IDs
 	if single {
 		if len(ids) > 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{`give "id" or "ids", not both`})
+			writeError(w, http.StatusBadRequest, "invalid_request", `give "id" or "ids", not both`, false)
 			return
 		}
 		ids = []int64{*req.ID}
 	} else if len(ids) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{`need "id" or a non-empty "ids"`})
+		writeError(w, http.StatusBadRequest, "invalid_request", `need "id" or a non-empty "ids"`, false)
 		return
 	}
 
 	e := s.cur.Load()
 	scores, err := e.scorer.Score(r.Context(), ids)
 	if err != nil {
-		status := statusOf(err)
-		if status == http.StatusServiceUnavailable {
-			// Shed load is transient: full queues drain within a batch
-			// linger, closed scorers mean a reload just swapped engines.
-			w.Header().Set("Retry-After", "1")
-		}
-		writeJSON(w, status, errorResponse{err.Error()})
+		status, code, retryable := scoreStatus(err)
+		writeError(w, status, code, err.Error(), retryable)
 		return
 	}
 	resp := scoreResponse{Model: e.model, Month: e.month}
-	if !e.deg.Empty() {
-		resp.Degraded = e.deg.String()
+	if deg := e.overlay.Info().Degradation; !deg.Empty() {
+		resp.Degraded = deg.String()
 	}
 	if single {
 		resp.Score = &scores[0]
@@ -390,19 +559,174 @@ func (s *service) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statusOf maps scoring failures onto HTTP: shed load reads as 503 (retry
-// later), an unknown customer as 404, a dead deadline as 504.
-func statusOf(err error) int {
-	switch {
-	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, serve.ErrUnknownCustomer):
-		return http.StatusNotFound
-	default:
-		return http.StatusInternalServerError
+// eventsResponse reports one accepted ingest batch: the durable log
+// sequence it landed at, how many rows folded into the serving month, and
+// how many customers' vectors were refreshed in place.
+type eventsResponse struct {
+	Seq      uint64 `json:"seq"`
+	Received int    `json:"received"`
+	Applied  int    `json:"applied"`
+	Affected int    `json:"affected"`
+	// StaleVectors is the live-override count after the fold — customers
+	// served ahead of the last full build (gauge, also in /metrics).
+	StaleVectors int `json:"stale_vectors"`
+	Month        int `json:"month"`
+}
+
+func (s *service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", false)
+		return
 	}
+	var req serve.EventBatch
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.EventsRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error(), false)
+		return
+	}
+	tables, err := serve.BuildEventTables(req.Events)
+	if err != nil {
+		s.metrics.EventsRejected.Add(uint64(len(req.Events)))
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error(), false)
+		return
+	}
+	e := s.cur.Load()
+	if e == nil || !e.ingestReady() {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", errIngestUnavailable.Error(), true)
+		return
+	}
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	// Durability first: the batch is committed to the log before anything
+	// folds, so a crash between the two replays it on restart.
+	seq, err := e.log.Append(tables)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "event log append: "+err.Error(), true)
+		return
+	}
+	// Fold from the log (not the parsed batch): this also catches segments
+	// appended directly by churnctl ingest since the last fold.
+	applied, affected, err := s.foldLocked()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "event fold: "+err.Error(), true)
+		return
+	}
+	s.metrics.EventsIngested.Add(uint64(applied))
+	writeJSON(w, http.StatusOK, eventsResponse{
+		Seq:          seq,
+		Received:     len(req.Events),
+		Applied:      applied,
+		Affected:     affected,
+		StaleVectors: e.overlay.Overridden(),
+		Month:        e.month,
+	})
+}
+
+// refreshResponse reports one completed serving-base rebuild.
+type refreshResponse struct {
+	Seq          uint64 `json:"seq"`
+	Rows         int    `json:"rows"`
+	StaleVectors int    `json:"stale_vectors"`
+	Degraded     string `json:"degraded,omitempty"`
+	TookMs       int64  `json:"took_ms"`
+}
+
+// handleRefresh rebuilds the serving frame with the unmerged event log
+// overlaid — the full build, graph and topic groups included — and swaps
+// it under the overlay atomically. The build runs without locks (scoring
+// and ingest continue); only the final swap serializes with ingest.
+func (s *service) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", false)
+		return
+	}
+	e := s.cur.Load()
+	if e == nil || !e.ingestReady() || e.src == nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", errIngestUnavailable.Error(), true)
+		return
+	}
+	if !s.refreshing.CompareAndSwap(false, true) {
+		writeError(w, http.StatusTooManyRequests, "refresh_in_progress", "a refresh is already running", true)
+		return
+	}
+	defer s.refreshing.Store(false)
+	start := time.Now()
+
+	// Fold anything pending so the maintainer covers the snapshot the
+	// rebuild is about to take, then snapshot the log.
+	s.ingestMu.Lock()
+	if _, _, err := s.foldLocked(); err != nil {
+		s.ingestMu.Unlock()
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "pre-refresh fold: "+err.Error(), true)
+		return
+	}
+	ovSrc, err := core.NewEventOverlaySource(e.src, e.log)
+	snapSeq := s.appliedSeq
+	s.ingestMu.Unlock()
+	if err != nil {
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "event overlay: "+err.Error(), true)
+		return
+	}
+
+	var newFrame *serve.FrameProvider
+	if s.opts.degraded {
+		newFrame, err = serve.NewFrameProviderDegraded(e.pipe, ovSrc, e.win)
+	} else {
+		newFrame, err = serve.NewFrameProvider(e.pipe, ovSrc, e.win)
+	}
+	if err != nil {
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "rebuild serving frame: "+err.Error(), true)
+		return
+	}
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.cur.Load() != e {
+		// A SIGHUP reload swapped engines mid-build; its frame is at least
+		// as fresh as ours, so this refresh simply yields.
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "engine reloaded during refresh, retry", true)
+		return
+	}
+	inner, err := s.chainFor(e, newFrame)
+	if err != nil {
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), true)
+		return
+	}
+	// Overrides for events the new base already covers retire; events that
+	// arrived while the build ran (appliedSeq moved past the snapshot)
+	// recompute against the new base.
+	var recompute func(id int64, base []float64) ([]float64, error)
+	if s.appliedSeq > snapSeq {
+		recompute = func(id int64, base []float64) ([]float64, error) {
+			return e.inc.Refresh(id, base)
+		}
+	}
+	if err := e.overlay.Swap(inner, recompute); err != nil {
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "swap: "+err.Error(), true)
+		return
+	}
+	e.frame.Store(newFrame)
+	e.buildSeq = snapSeq
+	s.metrics.DegradedMask.Store(uint64(newFrame.Degradation()))
+	s.metrics.Refreshes.Add(1)
+	s.metrics.RefreshUnixNano.Store(time.Now().UnixNano())
+	resp := refreshResponse{
+		Seq:          snapSeq,
+		Rows:         newFrame.NumRows(),
+		StaleVectors: e.overlay.Overridden(),
+		TookMs:       time.Since(start).Milliseconds(),
+	}
+	if deg := newFrame.Degradation(); !deg.Empty() {
+		resp.Degraded = deg.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is the liveness probe: 200 whenever the process can answer,
@@ -411,13 +735,16 @@ func statusOf(err error) int {
 func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"status": "ok"}
 	if e := s.cur.Load(); e != nil {
+		info := e.overlay.Info()
 		body["model"] = e.model
 		body["month"] = e.month
-		body["customers"] = e.rows
+		body["customers"] = info.Rows
 		body["features"] = len(e.pipe.FeatureNames())
 		body["schema"] = fmt.Sprintf("%08x", e.pipe.SchemaChecksum())
-		body["source"] = e.source
-		body["degraded"] = e.deg.String()
+		body["provider"] = info.Source
+		body["degraded"] = info.Degradation.String()
+		body["stale_vectors"] = info.Overridden
+		body["ingest"] = e.ingestReady()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -432,12 +759,15 @@ func (s *service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready"})
 		return
 	}
+	info := e.overlay.Info()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ready",
-		"month":    e.month,
-		"source":   e.source,
-		"degraded": e.deg.String(),
-		"schema":   fmt.Sprintf("%08x", e.pipe.SchemaChecksum()),
+		"status":        "ready",
+		"month":         e.month,
+		"provider":      info.Source,
+		"degraded":      info.Degradation.String(),
+		"stale_vectors": info.Overridden,
+		"ingest":        e.ingestReady(),
+		"schema":        fmt.Sprintf("%08x", e.pipe.SchemaChecksum()),
 	})
 }
 
@@ -445,20 +775,20 @@ func (s *service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // load generators (churnload) and smoke checks use to pick real targets.
 func (s *service) handleCustomers(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", false)
 		return
 	}
 	e := s.cur.Load()
 	if e == nil {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no engine loaded"})
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "no engine loaded", true)
 		return
 	}
-	ids := e.ids
+	info := e.overlay.Info()
+	ids := e.overlay.IDs()
 	if lim := r.URL.Query().Get("limit"); lim != "" {
 		n, err := strconv.Atoi(lim)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{"limit must be a non-negative integer"})
+			writeError(w, http.StatusBadRequest, "invalid_request", "limit must be a non-negative integer", false)
 			return
 		}
 		if n < len(ids) {
@@ -467,14 +797,22 @@ func (s *service) handleCustomers(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"month":  e.month,
-		"count":  e.rows,
-		"source": e.source,
+		"count":  info.Rows,
+		"source": info.Source,
 		"ids":    ids,
 	})
 }
 
 func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	if e := s.cur.Load(); e != nil {
+		// The provider chain reports itself the same way here as in
+		// /healthz and /readyz.
+		info := e.overlay.Info()
+		snap["provider"] = info.Source
+		snap["provider_rows"] = info.Rows
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -343,3 +343,234 @@ func TestDegradedServing(t *testing.T) {
 		t.Error("metrics degraded_mask = 0, want non-zero")
 	}
 }
+
+// errEnvelope mirrors the one error shape every endpoint must render.
+type errEnvelope struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		Retryable bool   `json:"retryable"`
+	} `json:"error"`
+}
+
+func doRequest(t *testing.T, ts *httptest.Server, method, path, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), resp.Header
+}
+
+// TestErrorEnvelope pins the API's single error shape across endpoints and
+// status codes: {"error":{"code","message","retryable"}}, with Retry-After
+// on every retryable response.
+func TestErrorEnvelope(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+		retryable                bool
+	}{
+		{"score bad json", "POST", "/v1/score", `not json`, 400, "invalid_request", false},
+		{"score empty", "POST", "/v1/score", `{}`, 400, "invalid_request", false},
+		{"score both forms", "POST", "/v1/score", `{"id":1,"ids":[2]}`, 400, "invalid_request", false},
+		{"score unknown customer", "POST", "/v1/score", `{"id":99999999}`, 404, "unknown_customer", false},
+		{"score wrong method", "GET", "/v1/score", ``, 405, "method_not_allowed", false},
+		{"events wrong method", "GET", "/v1/events", ``, 405, "method_not_allowed", false},
+		{"events bad json", "POST", "/v1/events", `not json`, 400, "invalid_request", false},
+		{"events empty batch", "POST", "/v1/events", `{"events":[]}`, 400, "invalid_request", false},
+		{"events unknown table", "POST", "/v1/events", `{"events":[{"table":"billing","imsi":1,"month":4,"day":1}]}`, 400, "invalid_request", false},
+		{"events unknown column", "POST", "/v1/events", `{"events":[{"table":"recharges","imsi":1,"month":4,"day":1,"fields":{"amonut":3}}]}`, 400, "invalid_request", false},
+		{"refresh wrong method", "GET", "/v1/refresh", ``, 405, "method_not_allowed", false},
+		{"customers wrong method", "POST", "/v1/customers", ``, 405, "method_not_allowed", false},
+		{"customers bad limit", "GET", "/v1/customers?limit=-1", ``, 400, "invalid_request", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, hdr := doRequest(t, ts, tc.method, tc.path, tc.body)
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (%s)", status, tc.status, body)
+			}
+			var env errEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatalf("not an envelope: %s", body)
+			}
+			if env.Error.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Error.Code, tc.code)
+			}
+			if env.Error.Message == "" {
+				t.Error("empty message")
+			}
+			if env.Error.Retryable != tc.retryable {
+				t.Errorf("retryable %v, want %v", env.Error.Retryable, tc.retryable)
+			}
+			if tc.retryable && hdr.Get("Retry-After") == "" {
+				t.Error("retryable without Retry-After")
+			}
+		})
+	}
+
+	// A refresh already in flight sheds further refreshes with 429.
+	svc.refreshing.Store(true)
+	status, body, hdr := doRequest(t, ts, "POST", "/v1/refresh", ``)
+	svc.refreshing.Store(false)
+	var env errEnvelope
+	json.Unmarshal(body, &env)
+	if status != 429 || env.Error.Code != "refresh_in_progress" || !env.Error.Retryable || hdr.Get("Retry-After") == "" {
+		t.Errorf("busy refresh = %d %s (Retry-After %q), want 429 refresh_in_progress retryable", status, body, hdr.Get("Retry-After"))
+	}
+
+	// Queue overload sheds with 429 overloaded; a closed scorer is a 503.
+	svc.Close()
+	status, body, hdr = doRequest(t, ts, "POST", "/v1/score", `{"id":`+int64String(want.IDs[0])+`}`)
+	json.Unmarshal(body, &env)
+	if status != 503 || env.Error.Code != "unavailable" || !env.Error.Retryable || hdr.Get("Retry-After") == "" {
+		t.Errorf("closed scorer = %d %s, want 503 unavailable retryable with Retry-After", status, body)
+	}
+}
+
+// TestIngestFreshnessAndRefresh is the streaming contract end to end at the
+// HTTP layer: a posted event changes the customer's served vector within
+// the same call, and the incrementally refreshed score is bit-identical to
+// the one a full rebuild over the event log produces (/v1/refresh).
+func TestIngestFreshnessAndRefresh(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	id := want.IDs[3]
+	other := want.IDs[5]
+
+	// Two recharges for the served month (4) — they move the F1 recharge
+	// aggregates with certainty.
+	batch := `{"events":[
+		{"table":"recharges","imsi":` + int64String(id) + `,"month":4,"day":9,"fields":{"amount":500}},
+		{"table":"recharges","imsi":` + int64String(id) + `,"month":4,"day":21,"fields":{"amount":250}}]}`
+	status, body, _ := doRequest(t, ts, "POST", "/v1/events", batch)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	var ev eventsResponse
+	json.Unmarshal(body, &ev)
+	if ev.Seq != 1 || ev.Received != 2 || ev.Applied != 2 || ev.Affected != 1 || ev.StaleVectors != 1 || ev.Month != 4 {
+		t.Fatalf("ingest response = %+v, want seq 1, 2 received, 2 applied, 1 affected, 1 stale, month 4", ev)
+	}
+
+	// The served vector moved off the frame's within the ingest call.
+	e := svc.cur.Load()
+	served, _ := e.overlay.Vector(id)
+	base, _ := e.overlay.Base(id)
+	changed := false
+	for i := range served {
+		if served[i] != base[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ingest did not change the served vector")
+	}
+
+	status, sr, raw := postScore(t, ts, `{"id":`+int64String(id)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-ingest score: %d %s", status, raw)
+	}
+	fresh := *sr.Score
+	if status, srOther, _ := postScore(t, ts, `{"id":`+int64String(other)+`}`); status != 200 || *srOther.Score != want.Scores[5] {
+		t.Errorf("unaffected customer moved: %v, want %v", *srOther.Score, want.Scores[5])
+	}
+
+	_, metrics, _ := getJSON(t, ts.URL+"/metrics")
+	if metrics["events_ingested"].(float64) != 2 || metrics["stale_vectors"].(float64) != 1 {
+		t.Errorf("metrics ingested/stale = %v/%v, want 2/1", metrics["events_ingested"], metrics["stale_vectors"])
+	}
+
+	// Full rebuild over the event log: overrides retire, scores must not
+	// move — the incremental fold already equals the rebuilt frame.
+	status, body, _ = doRequest(t, ts, "POST", "/v1/refresh", ``)
+	if status != http.StatusOK {
+		t.Fatalf("refresh: %d %s", status, body)
+	}
+	var rr refreshResponse
+	json.Unmarshal(body, &rr)
+	if rr.Rows != len(want.IDs) || rr.StaleVectors != 0 || rr.Seq != 1 {
+		t.Fatalf("refresh response = %+v, want %d rows, 0 stale, seq 1", rr, len(want.IDs))
+	}
+	if svc.cur.Load().overlay.Overridden() != 0 {
+		t.Error("overrides survived the refresh")
+	}
+	status, sr, raw = postScore(t, ts, `{"id":`+int64String(id)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-refresh score: %d %s", status, raw)
+	}
+	if *sr.Score != fresh {
+		t.Fatalf("incremental score %v != rebuilt score %v (bit-identity broken)", fresh, *sr.Score)
+	}
+
+	_, metrics, _ = getJSON(t, ts.URL+"/metrics")
+	if metrics["refreshes"].(float64) != 1 || metrics["stale_vectors"].(float64) != 0 {
+		t.Errorf("metrics refreshes/stale = %v/%v, want 1/0", metrics["refreshes"], metrics["stale_vectors"])
+	}
+	if age := metrics["refresh_age_seconds"].(float64); age < 0 || age > 60 {
+		t.Errorf("refresh_age_seconds = %v", age)
+	}
+
+	// Ingest keeps working after the swap (sequence numbers stay monotone
+	// across the rebuild).
+	batch2 := `{"events":[{"table":"recharges","imsi":` + int64String(id) + `,"month":4,"day":25,"fields":{"amount":10}}]}`
+	status, body, _ = doRequest(t, ts, "POST", "/v1/events", batch2)
+	if status != http.StatusOK {
+		t.Fatalf("second ingest: %d %s", status, body)
+	}
+	json.Unmarshal(body, &ev)
+	if ev.Seq != 2 || ev.Applied != 1 || ev.StaleVectors != 1 {
+		t.Fatalf("second ingest = %+v, want seq 2, 1 applied, 1 stale", ev)
+	}
+}
+
+// TestRestartReplaysEventLog: a service restarted over a warehouse with
+// unmerged logged events serves them immediately — the frame builds over
+// the event overlay and the maintainer resumes from the log.
+func TestRestartReplaysEventLog(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	id := want.IDs[3]
+	batch := `{"events":[{"table":"recharges","imsi":` + int64String(id) + `,"month":4,"day":9,"fields":{"amount":500}}]}`
+	if status, body, _ := doRequest(t, ts, "POST", "/v1/events", batch); status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	status, sr, _ := postScore(t, ts, `{"id":`+int64String(id)+`}`)
+	if status != http.StatusOK {
+		t.Fatal("post-ingest score failed")
+	}
+	fresh := *sr.Score
+	ts.Close()
+	svc.Close()
+
+	// "Restart": a brand-new service over the same warehouse and artifact.
+	svc2, err := buildService(svc.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	status, sr, raw := postScore(t, ts2, `{"id":`+int64String(id)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart score: %d %s", status, raw)
+	}
+	if *sr.Score != fresh {
+		t.Fatalf("restart lost the event: %v, want %v", *sr.Score, fresh)
+	}
+}

@@ -20,6 +20,12 @@
 // With -max-p99 and/or -max-non2xx the run self-gates (non-zero exit on
 // violation), which is how CI's loadtest job turns a 10-second run into a
 // latency regression guard.
+//
+// -ingest-mix F turns the run into a mixed read/write workload: fraction F
+// of the scheduled requests POST a one-event recharge batch to /v1/events
+// instead of scoring, on the same open-loop schedule. Writes share the
+// histogram and the non-2xx budget, so the existing gates also bound the
+// latency cost of ingest-while-scoring.
 package main
 
 import (
@@ -52,6 +58,7 @@ func main() {
 	out := fs.String("out", "", "benchjson-compatible report path (default stdout)")
 	name := fs.String("name", "BenchmarkChurnload", "benchmark name in the report")
 	seed := fs.Int64("seed", 1, "target-selection seed")
+	ingestMix := fs.Float64("ingest-mix", 0, "fraction of requests that POST a one-event batch to /v1/events (0 = read-only)")
 	maxP99 := fs.Duration("max-p99", 0, "fail when p99 exceeds this (0 = no gate)")
 	maxNon2xx := fs.Float64("max-non2xx", -1, "fail when the non-2xx fraction exceeds this (-1 = no gate)")
 	fs.Parse(os.Args[1:])
@@ -65,12 +72,23 @@ func main() {
 	if *rps <= 0 || *duration <= 0 || *conns <= 0 || *batch <= 0 {
 		fatal("rps, duration, conns and batch must all be positive")
 	}
-	ids, err := targetIDs(base, *idSpec, *timeout)
+	if *ingestMix < 0 || *ingestMix > 1 {
+		fatal("-ingest-mix must be in [0, 1]")
+	}
+	ids, month, err := targetIDs(base, *idSpec, *timeout)
 	if err != nil {
 		fatal(err)
 	}
+	if *ingestMix > 0 && month == 0 {
+		// Pinned -ids skip discovery, but events need the serving month.
+		if _, month, err = discoverCustomers(base, *timeout); err != nil {
+			fatal(err)
+		}
+	}
 
 	r := newRun(base, ids, *conns, *batch, *timeout, *seed)
+	r.mix = *ingestMix
+	r.month = month
 	total := int64(*rps * duration.Seconds())
 	if total < 1 {
 		total = 1
@@ -78,7 +96,7 @@ func main() {
 	interval := time.Duration(float64(time.Second) / *rps)
 	elapsed := r.fire(total, interval)
 
-	rep := r.report(*name, *rps, *batch, total, elapsed, *duration)
+	rep := r.report(*name, *rps, *batch, *ingestMix, total, elapsed, *duration)
 	buf, _ := json.MarshalIndent(rep, "", "  ")
 	buf = append(buf, '\n')
 	if *out == "" {
@@ -98,64 +116,76 @@ func fatal(v any) {
 	os.Exit(1)
 }
 
-// targetIDs resolves the id pool: an explicit -ids list, or discovery
-// against the server's /v1/customers endpoint.
-func targetIDs(base, spec string, timeout time.Duration) ([]int64, error) {
+// targetIDs resolves the id pool: an explicit -ids list (month reported as
+// 0 — unknown), or discovery against the server's /v1/customers endpoint.
+func targetIDs(base, spec string, timeout time.Duration) ([]int64, int, error) {
 	if spec != "" {
 		var ids []int64
 		for _, tok := range strings.Split(spec, ",") {
 			id, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad id %q in -ids", tok)
+				return nil, 0, fmt.Errorf("bad id %q in -ids", tok)
 			}
 			ids = append(ids, id)
 		}
-		return ids, nil
+		return ids, 0, nil
 	}
+	return discoverCustomers(base, timeout)
+}
+
+// discoverCustomers fetches the serving universe — ids and month — from
+// churnd's GET /v1/customers.
+func discoverCustomers(base string, timeout time.Duration) ([]int64, int, error) {
 	client := &http.Client{Timeout: timeout}
 	resp, err := client.Get(base + "/v1/customers")
 	if err != nil {
-		return nil, fmt.Errorf("discover targets: %w (is churnd up? or pass -ids)", err)
+		return nil, 0, fmt.Errorf("discover targets: %w (is churnd up? or pass -ids)", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("discover targets: %s from %s/v1/customers", resp.Status, base)
+		return nil, 0, fmt.Errorf("discover targets: %s from %s/v1/customers", resp.Status, base)
 	}
 	var body struct {
-		IDs []int64 `json:"ids"`
+		Month int     `json:"month"`
+		IDs   []int64 `json:"ids"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return nil, fmt.Errorf("discover targets: %w", err)
+		return nil, 0, fmt.Errorf("discover targets: %w", err)
 	}
 	if len(body.IDs) == 0 {
-		return nil, fmt.Errorf("server reports no scorable customers")
+		return nil, 0, fmt.Errorf("server reports no scorable customers")
 	}
-	return body.IDs, nil
+	return body.IDs, body.Month, nil
 }
 
 // run holds the shared state of one load run.
 type run struct {
-	url    string
-	ids    []int64
-	conns  int
-	batch  int
-	seed   int64
-	client *http.Client
+	url       string
+	eventsURL string
+	ids       []int64
+	conns     int
+	batch     int
+	seed      int64
+	mix       float64 // fraction of requests that are event writes
+	month     int     // serving month events land in (when mix > 0)
+	client    *http.Client
 
 	latency serve.Histogram // ns from scheduled send to response fully read
 	ok      atomic.Int64    // 2xx responses
 	non2xx  atomic.Int64    // responses with any other status
 	errs    atomic.Int64    // transport-level failures (timeout, refused)
 	late    atomic.Int64    // requests that started >= 1 interval behind schedule
+	writes  atomic.Int64    // requests that were event posts, not scores
 }
 
 func newRun(base string, ids []int64, conns, batch int, timeout time.Duration, seed int64) *run {
 	return &run{
-		url:   base + "/v1/score",
-		ids:   ids,
-		conns: conns,
-		batch: batch,
-		seed:  seed,
+		url:       base + "/v1/score",
+		eventsURL: base + "/v1/events",
+		ids:       ids,
+		conns:     conns,
+		batch:     batch,
+		seed:      seed,
 		client: &http.Client{
 			Timeout: timeout,
 			Transport: &http.Transport{
@@ -194,10 +224,16 @@ func (r *run) fire(total int64, interval time.Duration) time.Duration {
 	return time.Since(start)
 }
 
-// one sends a single score request and records its outcome. Latency runs
-// from the scheduled send time through draining the response body.
+// one sends a single request — a score, or (with probability mix) a
+// one-event ingest — and records its outcome. Latency runs from the
+// scheduled send time through draining the response body.
 func (r *run) one(rng *rand.Rand, body []byte, sched time.Time) {
-	if r.batch == 1 {
+	url := r.url
+	if r.mix > 0 && rng.Float64() < r.mix {
+		url = r.eventsURL
+		body = r.eventBody(rng, body)
+		r.writes.Add(1)
+	} else if r.batch == 1 {
 		body = append(body, `{"id":`...)
 		body = strconv.AppendInt(body, r.ids[rng.Intn(len(r.ids))], 10)
 		body = append(body, '}')
@@ -211,7 +247,7 @@ func (r *run) one(rng *rand.Rand, body []byte, sched time.Time) {
 		}
 		body = append(body, `]}`...)
 	}
-	resp, err := r.client.Post(r.url, "application/json", bytes.NewReader(body))
+	resp, err := r.client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		r.errs.Add(1)
 		r.latency.Observe(uint64(time.Since(sched)))
@@ -227,10 +263,30 @@ func (r *run) one(rng *rand.Rand, body []byte, sched time.Time) {
 	}
 }
 
+// eventBody renders a one-event recharge batch for the write side of the
+// mix: a random target tops up a random amount on a random day of the
+// serving month. Recharges are the cheapest streamable table and always
+// move F1's recharge aggregates, so every write forces real invalidation.
+func (r *run) eventBody(rng *rand.Rand, body []byte) []byte {
+	body = append(body, `{"events":[{"table":"recharges","imsi":`...)
+	body = strconv.AppendInt(body, r.ids[rng.Intn(len(r.ids))], 10)
+	body = append(body, `,"month":`...)
+	body = strconv.AppendInt(body, int64(r.month), 10)
+	body = append(body, `,"day":`...)
+	body = strconv.AppendInt(body, int64(rng.Intn(28)+1), 10)
+	body = append(body, `,"fields":{"amount":`...)
+	body = strconv.AppendFloat(body, 5+rng.Float64()*95, 'f', 2, 64)
+	body = append(body, `}}]}`...)
+	return body
+}
+
 // report renders the run in benchjson's document shape, so a saved run
 // works as a `benchjson -compare` baseline for later runs.
-func (r *run) report(name string, rps float64, batch int, total int64, elapsed, want time.Duration) map[string]any {
+func (r *run) report(name string, rps float64, batch int, mix float64, total int64, elapsed, want time.Duration) map[string]any {
 	full := fmt.Sprintf("%s/rps=%g/batch=%d", name, rps, batch)
+	if mix > 0 {
+		full += fmt.Sprintf("/mix=%g", mix)
+	}
 	mean := 0.0
 	if snap := r.latency.Snapshot(); snap["count"].(uint64) > 0 {
 		mean = snap["mean"].(float64)
@@ -249,6 +305,7 @@ func (r *run) report(name string, rps float64, batch int, total int64, elapsed, 
 			"non2xx":       float64(r.non2xx.Load()),
 			"errors":       float64(r.errs.Load()),
 			"late":         float64(r.late.Load()),
+			"writes":       float64(r.writes.Load()),
 		},
 	}
 	return map[string]any{
@@ -270,6 +327,9 @@ func (r *run) summarize(w io.Writer, total int64, elapsed time.Duration) {
 		time.Duration(r.latency.Quantile(0.99)).Round(time.Microsecond))
 	fmt.Fprintf(w, "churnload: 2xx %d  non-2xx %d  transport errors %d  late sends %d\n",
 		r.ok.Load(), r.non2xx.Load(), r.errs.Load(), r.late.Load())
+	if n := r.writes.Load(); n > 0 {
+		fmt.Fprintf(w, "churnload: %d event posts (month %d) interleaved with the scores\n", n, r.month)
+	}
 }
 
 // gate applies the self-check thresholds; a non-empty return is the failure

@@ -236,6 +236,18 @@ func (rr retryingReader) ReadMonths(name string, months []int) (*table.Table, er
 	return t, nil
 }
 
+// TableReader implements ReaderSource when the inner source exposes a
+// per-table reader, retrying each read under a shared backoff window; it
+// returns nil otherwise. Wrappers that interpose per table (the event
+// overlay) compose through it.
+func (r *RetrySource) TableReader() features.TableReader {
+	rs, ok := r.inner.(ReaderSource)
+	if !ok {
+		return nil
+	}
+	return retryingReader{r: rs.TableReader(), rs: r, deadline: r.deadline()}
+}
+
 // Tables implements Source. With a ReaderSource inner, each raw table
 // retries independently; otherwise the whole window load is retried as one
 // operation.

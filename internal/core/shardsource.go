@@ -55,6 +55,12 @@ func AsSharded(src Source) (ShardedSource, bool) {
 			return nil, false
 		}
 		return retryShardedSource{RetrySource: s, sharded: inner}, true
+	case *EventOverlaySource:
+		inner, ok := AsSharded(s.inner)
+		if !ok {
+			return nil, false
+		}
+		return shardedOverlaySource{EventOverlaySource: s, sharded: inner}, true
 	case ShardedSource:
 		return s, true
 	}

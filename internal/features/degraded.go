@@ -97,6 +97,14 @@ var rawSchemas = map[string]*table.Schema{
 	synth.TableLocations:  synth.LocationsSchema,
 }
 
+// RawSchema returns the canonical schema of the named raw table, or false
+// for unknown names. The streaming ingest path uses it to assemble typed
+// event rows from wire records.
+func RawSchema(name string) (*table.Schema, bool) {
+	s, ok := rawSchemas[name]
+	return s, ok
+}
+
 // EmptyRawTable returns a zero-row table with the canonical schema of the
 // named raw table — the degraded-mode stand-in for an unavailable feed.
 // Aggregations over it produce no per-customer values, so every column it

@@ -1,0 +1,294 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"telcochurn/internal/synth"
+	"telcochurn/internal/table"
+)
+
+// Incremental feature maintenance.
+//
+// Every per-customer feature in this package — the F1–F3 aggregates, the
+// F7/F8 topic mixtures, and (at the pipeline layer) the F9 second-order
+// products — is a fold over one customer's raw rows in row order:
+// table.GroupBy accumulates each group's sums and means across the group's
+// rows in the order they appear, distinct counters and maxes are
+// order-free, and topic fold-in consumes the customer's texts concatenated
+// in row order. Row-order folds decompose over prefixes, so appending a
+// customer's new event rows at the end of the serving window's tables and
+// re-running the very same builders over just that customer's rows yields
+// values Float64bits-identical to a from-scratch rebuild over the merged
+// data (where the merge likewise appends events after each partition's
+// existing rows — store.EventLog.MergeInto). That identity is what lets a
+// streamed event update a served score in milliseconds while remaining
+// exactly reproducible by the monthly batch path; the property test in
+// incremental_test.go pins it against BuildShardedFrame.
+//
+// The Maintainer holds the serving window's raw tables in memory, appends
+// accepted events to them, and keeps a per-table imsi → row-index posting
+// list so a single customer's slice is assembled in O(customer's rows),
+// not O(table). Graph groups (F4–F6) are inherently cross-customer and are
+// out of scope here: they stay at their snapshot values until an explicit
+// refresh rebuilds the frame (see churnd's POST /v1/refresh).
+
+// ErrNotInUniverse reports an event or recompute for a customer absent
+// from the serving window's demographic snapshot; such customers have no
+// feature row to maintain.
+var ErrNotInUniverse = errors.New("features: customer not in serving universe")
+
+// CloneTables deep-copies a Tables bundle. The maintainer appends to its
+// tables in place, so callers whose source shares table memory (an
+// in-memory simulator month) clone before construction.
+func CloneTables(tbl Tables) (Tables, error) {
+	clone := func(src *table.Table) (*table.Table, error) {
+		if src == nil {
+			return nil, nil
+		}
+		dst := table.NewTable(src.Schema)
+		if err := dst.AppendTable(src); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	var out Tables
+	var err error
+	for _, p := range []struct {
+		dst **table.Table
+		src *table.Table
+	}{
+		{&out.Calls, tbl.Calls}, {&out.Messages, tbl.Messages}, {&out.Recharges, tbl.Recharges},
+		{&out.Billing, tbl.Billing}, {&out.Customers, tbl.Customers}, {&out.Complaints, tbl.Complaints},
+		{&out.Web, tbl.Web}, {&out.Search, tbl.Search}, {&out.Locations, tbl.Locations},
+	} {
+		if *p.dst, err = clone(p.src); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// StreamableTables lists the raw tables that accept streamed event rows:
+// the append-only event feeds. Monthly snapshot tables (billing,
+// demographics) are produced by BSS at month end and are not streamable.
+var StreamableTables = []string{
+	synth.TableCalls, synth.TableMessages, synth.TableRecharges,
+	synth.TableComplaints, synth.TableWeb, synth.TableSearch,
+	synth.TableLocations,
+}
+
+// Maintainer folds streamed raw events into one serving month's feature
+// state. All methods are safe for one writer (Apply) concurrent with
+// readers (CustomerFrame) via an internal mutex; the serving layer
+// additionally serializes Apply against refresh swaps.
+type Maintainer struct {
+	mu   sync.Mutex
+	tbl  Tables
+	win  Window
+	days int
+	// universe is the serving month's customer snapshot (the frame's id
+	// set); events for ids outside it are logged but maintain nothing.
+	universe map[int64]struct{}
+	// idx posts each table's rows by imsi, in row order — base rows first,
+	// appended event rows after, preserving the fold order a from-scratch
+	// build over merged data would see. Costs one int per raw row.
+	idx     map[string]map[int64][]int
+	applied int
+}
+
+// NewMaintainer indexes the serving window's tables. The window must be a
+// single whole month (the serving shape): merging an event into its month
+// partition appends it after that month's rows, which coincides with
+// appending at the end of the loaded table only when the window holds
+// exactly that one month — the bit-identity argument above needs that.
+func NewMaintainer(tbl Tables, win Window, daysPerMonth int) (*Maintainer, error) {
+	if months := win.Months(daysPerMonth); len(months) != 1 || win != MonthWindow(months[0], daysPerMonth) {
+		return nil, fmt.Errorf("features: maintainer window %+v must be one whole month", win)
+	}
+	m := &Maintainer{tbl: tbl, win: win, days: daysPerMonth, idx: map[string]map[int64][]int{}}
+	snap := snapshotMonth(tbl.Customers, win, daysPerMonth)
+	if snap.NumRows() == 0 {
+		return nil, ErrUniverseUnavailable
+	}
+	m.universe = make(map[int64]struct{}, snap.NumRows())
+	for _, id := range snap.MustCol("imsi").Ints {
+		m.universe[id] = struct{}{}
+	}
+	for name, t := range m.tables() {
+		m.idx[name] = postByIMSI(t)
+	}
+	return m, nil
+}
+
+// tables maps raw table names to the maintainer's mutable copies.
+func (m *Maintainer) tables() map[string]*table.Table {
+	return map[string]*table.Table{
+		synth.TableCalls:      m.tbl.Calls,
+		synth.TableMessages:   m.tbl.Messages,
+		synth.TableRecharges:  m.tbl.Recharges,
+		synth.TableBilling:    m.tbl.Billing,
+		synth.TableCustomers:  m.tbl.Customers,
+		synth.TableComplaints: m.tbl.Complaints,
+		synth.TableWeb:        m.tbl.Web,
+		synth.TableSearch:     m.tbl.Search,
+		synth.TableLocations:  m.tbl.Locations,
+	}
+}
+
+func postByIMSI(t *table.Table) map[int64][]int {
+	post := map[int64][]int{}
+	if t == nil {
+		return post
+	}
+	for i, id := range t.MustCol("imsi").Ints {
+		post[id] = append(post[id], i)
+	}
+	return post
+}
+
+// Window returns the maintained serving window.
+func (m *Maintainer) Window() Window { return m.win }
+
+// DaysPerMonth returns the configured month length.
+func (m *Maintainer) DaysPerMonth() int { return m.days }
+
+// Known reports whether the customer is in the serving universe.
+func (m *Maintainer) Known(id int64) bool {
+	_, ok := m.universe[id]
+	return ok
+}
+
+// AnyCustomer returns an arbitrary universe customer — a probe id for
+// schema validation at wiring time. The universe is never empty
+// (NewMaintainer fails on an empty snapshot).
+func (m *Maintainer) AnyCustomer() int64 {
+	for id := range m.universe {
+		return id
+	}
+	return 0
+}
+
+// UniverseSize returns the number of customers in the serving universe.
+func (m *Maintainer) UniverseSize() int { return len(m.universe) }
+
+// Applied returns the number of event rows folded in so far.
+func (m *Maintainer) Applied() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+// Apply appends one table's event rows to the maintained state and returns
+// the distinct affected universe customers (ascending) plus the number of
+// rows applied. Rows for months outside the serving window are skipped —
+// they live in the durable log and surface after the next merge + rebuild
+// — as are rows for unknown customers (appended, since a merged rebuild
+// would also see them, but affecting no feature row). Only
+// StreamableTables are accepted, and the rows must match the table's
+// schema exactly.
+func (m *Maintainer) Apply(name string, events *table.Table) ([]int64, int, error) {
+	streamable := false
+	for _, s := range StreamableTables {
+		if s == name {
+			streamable = true
+			break
+		}
+	}
+	if !streamable {
+		return nil, 0, fmt.Errorf("features: table %q does not accept streamed events", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dst := m.tables()[name]
+	months := events.MustCol("month").Ints
+	servingMonth := int64(m.win.LastMonth(m.days))
+	ev := events.Filter(func(i int) bool { return months[i] == servingMonth })
+	if ev.NumRows() == 0 {
+		return nil, 0, nil
+	}
+	base := dst.NumRows()
+	if err := dst.AppendTable(ev); err != nil {
+		return nil, 0, fmt.Errorf("features: apply %s events: %w", name, err)
+	}
+	post := m.idx[name]
+	affected := map[int64]struct{}{}
+	for i, id := range ev.MustCol("imsi").Ints {
+		post[id] = append(post[id], base+i)
+		if _, ok := m.universe[id]; ok {
+			affected[id] = struct{}{}
+		}
+	}
+	m.applied += ev.NumRows()
+	ids := make([]int64, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, ev.NumRows(), nil
+}
+
+// customerTables assembles one customer's slice of every table, rows in
+// maintained order. Callers hold m.mu.
+func (m *Maintainer) customerTables(id int64) Tables {
+	take := func(name string, t *table.Table) *table.Table {
+		return t.Take(m.idx[name][id])
+	}
+	return Tables{
+		Calls:      take(synth.TableCalls, m.tbl.Calls),
+		Messages:   take(synth.TableMessages, m.tbl.Messages),
+		Recharges:  take(synth.TableRecharges, m.tbl.Recharges),
+		Billing:    take(synth.TableBilling, m.tbl.Billing),
+		Customers:  take(synth.TableCustomers, m.tbl.Customers),
+		Complaints: take(synth.TableComplaints, m.tbl.Complaints),
+		Web:        take(synth.TableWeb, m.tbl.Web),
+		Search:     take(synth.TableSearch, m.tbl.Search),
+		Locations:  take(synth.TableLocations, m.tbl.Locations),
+	}
+}
+
+// CustomerFrame rebuilds one customer's per-customer feature columns from
+// the maintained state: the base groups among groups (in canonical order),
+// then F7/F8 topic mixtures when requested (their fitted featurizers must
+// be supplied). Graph groups and F9 in groups are ignored — the former are
+// cross-customer, the latter is applied to the assembled row by the
+// pipeline layer. The resulting one-row frame carries exactly the values a
+// full rebuild over the merged data would put in this customer's row.
+func (m *Maintainer) CustomerFrame(id int64, groups []Group, complaints, search *TopicFeaturizer) (*Frame, error) {
+	if _, ok := m.universe[id]; !ok {
+		return nil, fmt.Errorf("%w: imsi %d", ErrNotInUniverse, id)
+	}
+	want := map[Group]bool{}
+	for _, g := range groups {
+		want[g] = true
+	}
+	var baseGroups []Group
+	for _, g := range []Group{F1Baseline, F2CS, F3PS} {
+		if want[g] {
+			baseGroups = append(baseGroups, g)
+		}
+	}
+	if want[F7ComplaintTopics] && complaints == nil {
+		return nil, fmt.Errorf("features: F7 requested but no fitted complaint featurizer")
+	}
+	if want[F8SearchTopics] && search == nil {
+		return nil, fmt.Errorf("features: F8 requested but no fitted search featurizer")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ct := m.customerTables(id)
+	bf, err := BuildBaseFeatures(ct, m.win, m.days, 1)
+	if err != nil {
+		return nil, fmt.Errorf("features: recompute imsi %d: %w", id, err)
+	}
+	sel := bf.SelectGroups(baseGroups...)
+	if want[F7ComplaintTopics] {
+		complaints.Apply(sel, ct.Complaints, m.win, m.days)
+	}
+	if want[F8SearchTopics] {
+		search.Apply(sel, ct.Search, m.win, m.days)
+	}
+	return sel, nil
+}

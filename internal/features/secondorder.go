@@ -135,6 +135,28 @@ func (s *SecondOrderSelector) Apply(f *Frame) error {
 	return nil
 }
 
+// ApplyRow computes the F9 values for one assembled feature row whose
+// leading columns match the fitted source names — the incremental
+// maintenance path's per-customer counterpart of Apply, arithmetic
+// identical term for term (same standardize, clip and multiply on the same
+// float64 inputs), so a row refreshed through it is bit-identical to the
+// same row in a full Apply.
+func (s *SecondOrderSelector) ApplyRow(row []float64) ([]float64, error) {
+	if len(row) < len(s.sourceNames) {
+		return nil, fmt.Errorf("features: second-order row has %d columns, selector needs %d sources", len(row), len(s.sourceNames))
+	}
+	vals := make([]float64, len(s.pairs))
+	for k, p := range s.pairs {
+		xi := clipZ((row[p.I] - s.means[p.I]) / s.stds[p.I])
+		xj := clipZ((row[p.J] - s.means[p.J]) / s.stds[p.J])
+		vals[k] = xi * xj
+	}
+	return vals, nil
+}
+
+// NumPairs returns how many F9 columns the selector emits.
+func (s *SecondOrderSelector) NumPairs() int { return len(s.pairs) }
+
 // clipZ bounds a standardized value so a single outlier cannot dominate a
 // product feature (products of heavy tails otherwise hand the forest splits
 // that fit one customer).

@@ -8,16 +8,6 @@ import (
 	"telcochurn/internal/features"
 )
 
-// VectorProvider resolves one customer's feature vector. Returned slices
-// are read-only and must not be mutated by callers.
-type VectorProvider interface {
-	// Vector returns the feature vector for a customer, or false if the
-	// customer is not in the provider's universe.
-	Vector(id int64) ([]float64, bool)
-	// FeatureNames returns the vector schema, aligned with Vector output.
-	FeatureNames() []string
-}
-
 // FrameProvider serves vectors out of a wide-table frame built once from a
 // pipeline over one observation window — the batch feature path reused
 // verbatim, so served vectors are the exact rows Pipeline.Predict scores.
@@ -53,10 +43,10 @@ func NewFrameProviderDegraded(p *core.Pipeline, src core.Source, win features.Wi
 // from imputed data (zero for a healthy build).
 func (fp *FrameProvider) Degradation() features.Degradation { return fp.deg }
 
-// Vector implements VectorProvider.
+// Vector implements Provider.
 func (fp *FrameProvider) Vector(id int64) ([]float64, bool) { return fp.frame.Row(id) }
 
-// FeatureNames implements VectorProvider.
+// FeatureNames implements Provider.
 func (fp *FrameProvider) FeatureNames() []string { return fp.frame.Names() }
 
 // IDs returns every scorable customer in the window, in frame row order.
@@ -65,12 +55,21 @@ func (fp *FrameProvider) IDs() []int64 { return fp.frame.IDs() }
 // NumRows returns the number of scorable customers.
 func (fp *FrameProvider) NumRows() int { return fp.frame.NumRows() }
 
+// Info implements Provider.
+func (fp *FrameProvider) Info() ProviderInfo {
+	return ProviderInfo{Source: "frame", Rows: fp.frame.NumRows(), Degradation: fp.deg}
+}
+
+// Invalidate implements Provider; the frame is a fixed snapshot.
+func (fp *FrameProvider) Invalidate(int64) {}
+
 // Cache is an in-memory per-customer feature-vector cache with TTL,
-// fronting a VectorProvider. Entries expire CacheTTL after they were
-// fetched, so a provider refreshed behind the cache (e.g. a new warehouse
-// window) is picked up within one TTL. Negative lookups are not cached.
+// fronting a Provider. Entries expire CacheTTL after they were fetched, so
+// a provider refreshed behind the cache (e.g. a new warehouse window) is
+// picked up within one TTL; Invalidate drops one customer immediately (the
+// streaming-ingest path). Negative lookups are not cached.
 type Cache struct {
-	base    VectorProvider
+	base    Provider
 	ttl     time.Duration
 	now     func() time.Time // test hook; time.Now in production
 	metrics *Metrics
@@ -87,7 +86,7 @@ type cacheEntry struct {
 
 // NewCache wraps base with a TTL cache. A nil metrics is allowed (counters
 // are skipped); ttl <= 0 disables caching entirely and passes through.
-func NewCache(base VectorProvider, ttl time.Duration, m *Metrics) *Cache {
+func NewCache(base Provider, ttl time.Duration, m *Metrics) *Cache {
 	return &Cache{
 		base:    base,
 		ttl:     ttl,
@@ -98,7 +97,7 @@ func NewCache(base VectorProvider, ttl time.Duration, m *Metrics) *Cache {
 	}
 }
 
-// Vector implements VectorProvider, serving from cache when fresh.
+// Vector implements Provider, serving from cache when fresh.
 func (c *Cache) Vector(id int64) ([]float64, bool) {
 	if c.ttl <= 0 {
 		return c.base.Vector(id)
@@ -134,8 +133,24 @@ func (c *Cache) Vector(id int64) ([]float64, bool) {
 	return vec, true
 }
 
-// FeatureNames implements VectorProvider.
+// FeatureNames implements Provider.
 func (c *Cache) FeatureNames() []string { return c.base.FeatureNames() }
+
+// IDs implements Provider.
+func (c *Cache) IDs() []int64 { return c.base.IDs() }
+
+// Info implements Provider, passing the base through — the cache changes
+// latency, not the universe.
+func (c *Cache) Info() ProviderInfo { return c.base.Info() }
+
+// Invalidate drops the customer's cached entry (and propagates down the
+// chain), so the next lookup re-resolves through the base provider.
+func (c *Cache) Invalidate(id int64) {
+	c.mu.Lock()
+	delete(c.entries, id)
+	c.mu.Unlock()
+	c.base.Invalidate(id)
+}
 
 // Len returns the number of cached entries (fresh or expired-but-unswept).
 func (c *Cache) Len() int {

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+
+	"telcochurn/internal/features"
+	"telcochurn/internal/table"
+)
+
+// Wire format for streamed raw events — the POST /v1/events request body
+// and the churnctl ingest file format. One record names its raw table and
+// carries the row's fields; imsi, month and day are first-class because
+// every streamable table keys on them.
+
+// Event is one raw BSS/OSS record on the wire.
+type Event struct {
+	// Table is the raw table the record belongs to (calls, messages,
+	// recharges, complaints, web, search, locations).
+	Table string `json:"table"`
+	IMSI  int64  `json:"imsi"`
+	Month int64  `json:"month"`
+	Day   int64  `json:"day"`
+	// Fields holds the remaining schema columns by name. Omitted numeric
+	// columns default to zero, text columns to ""; unknown names are
+	// rejected (they are always typos, never extensions).
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// EventBatch is the POST /v1/events request body.
+type EventBatch struct {
+	Events []Event `json:"events"`
+}
+
+// BuildEventTables validates a batch and assembles it into typed tables
+// keyed by raw table name, rows in batch order — the shape the event log
+// appends and the incremental maintainer folds.
+func BuildEventTables(events []Event) (map[string]*table.Table, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("empty event batch")
+	}
+	streamable := map[string]bool{}
+	for _, name := range features.StreamableTables {
+		streamable[name] = true
+	}
+	out := map[string]*table.Table{}
+	for i, ev := range events {
+		if !streamable[ev.Table] {
+			return nil, fmt.Errorf("event %d: table %q does not accept streamed events (streamable: %v)", i, ev.Table, features.StreamableTables)
+		}
+		schema, ok := features.RawSchema(ev.Table)
+		if !ok {
+			return nil, fmt.Errorf("event %d: unknown table %q", i, ev.Table)
+		}
+		if ev.IMSI <= 0 {
+			return nil, fmt.Errorf("event %d: imsi must be positive, got %d", i, ev.IMSI)
+		}
+		if ev.Month <= 0 {
+			return nil, fmt.Errorf("event %d: month must be positive, got %d", i, ev.Month)
+		}
+		if ev.Day <= 0 {
+			return nil, fmt.Errorf("event %d: day must be positive, got %d", i, ev.Day)
+		}
+		known := map[string]bool{"imsi": true, "month": true, "day": true}
+		for _, f := range schema.Fields {
+			known[f.Name] = true
+		}
+		for name := range ev.Fields {
+			if !known[name] {
+				return nil, fmt.Errorf("event %d: table %q has no column %q", i, ev.Table, name)
+			}
+		}
+		t := out[ev.Table]
+		if t == nil {
+			t = table.NewTable(schema)
+			out[ev.Table] = t
+		}
+		vals := make([]any, 0, len(schema.Fields))
+		for _, f := range schema.Fields {
+			var raw any
+			switch f.Name {
+			case "imsi":
+				raw = ev.IMSI
+			case "month":
+				raw = ev.Month
+			case "day":
+				raw = ev.Day
+			default:
+				raw = ev.Fields[f.Name]
+			}
+			v, err := coerce(raw, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: column %q: %w", i, f.Name, err)
+			}
+			vals = append(vals, v)
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// coerce turns a decoded JSON value (float64, string, int64 from the
+// first-class keys, or nil when omitted) into the column's Go type.
+func coerce(raw any, typ table.ColType) (any, error) {
+	switch typ {
+	case table.Int64:
+		switch v := raw.(type) {
+		case nil:
+			return int64(0), nil
+		case int64:
+			return v, nil
+		case float64:
+			n := int64(v)
+			if float64(n) != v {
+				return nil, fmt.Errorf("want an integer, got %v", v)
+			}
+			return n, nil
+		default:
+			return nil, fmt.Errorf("want an integer, got %T", raw)
+		}
+	case table.Float64:
+		switch v := raw.(type) {
+		case nil:
+			return float64(0), nil
+		case float64:
+			return v, nil
+		case int64:
+			return float64(v), nil
+		default:
+			return nil, fmt.Errorf("want a number, got %T", raw)
+		}
+	default:
+		switch v := raw.(type) {
+		case nil:
+			return "", nil
+		case string:
+			return v, nil
+		default:
+			return nil, fmt.Errorf("want a string, got %T", raw)
+		}
+	}
+}

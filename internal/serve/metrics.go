@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"telcochurn/internal/features"
 )
@@ -42,6 +43,19 @@ type Metrics struct {
 	// rejected ones (the previous engine kept serving).
 	Reloads        atomic.Uint64
 	ReloadFailures atomic.Uint64
+	// EventsIngested counts streamed event rows durably logged and folded
+	// into serving state; EventsRejected counts rows refused at validation.
+	EventsIngested atomic.Uint64
+	EventsRejected atomic.Uint64
+	// StaleVectors is a gauge: customers currently served from live event
+	// overrides, i.e. vectors ahead of the last full build.
+	StaleVectors atomic.Uint64
+	// Refreshes counts successful /v1/refresh vector swaps;
+	// RefreshFailures counts rejected ones. RefreshUnixNano is a gauge
+	// holding when the serving base was last (re)built.
+	Refreshes       atomic.Uint64
+	RefreshFailures atomic.Uint64
+	RefreshUnixNano atomic.Int64
 	// BatchSize observes items per flushed micro-batch; LatencyNs observes
 	// end-to-end per-request latency.
 	BatchSize Histogram
@@ -73,8 +87,20 @@ func (m *Metrics) Snapshot() map[string]any {
 		"degraded_groups":   features.Degradation(mask).String(),
 		"reloads":           m.Reloads.Load(),
 		"reload_failures":   m.ReloadFailures.Load(),
-		"batch_size":        m.BatchSize.Snapshot(),
-		"latency_ns":        m.LatencyNs.Snapshot(),
+		"events_ingested":   m.EventsIngested.Load(),
+		"events_rejected":   m.EventsRejected.Load(),
+		"stale_vectors":     m.StaleVectors.Load(),
+		"refreshes":         m.Refreshes.Load(),
+		"refresh_failures":  m.RefreshFailures.Load(),
+		"refresh_age_seconds": func() float64 {
+			ns := m.RefreshUnixNano.Load()
+			if ns == 0 {
+				return -1 // never built
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		}(),
+		"batch_size": m.BatchSize.Snapshot(),
+		"latency_ns": m.LatencyNs.Snapshot(),
 	}
 }
 

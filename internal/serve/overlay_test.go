@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOverlayOverrideAndInvalidate: overrides win lookups, Base bypasses
+// them, Invalidate retires them and propagates down the chain.
+func TestOverlayOverrideAndInvalidate(t *testing.T) {
+	inner := newMapProvider(3) // ids 0..2, vectors {i, i*0.5}
+	m := &Metrics{}
+	o := NewOverlay(inner, m)
+
+	if v, ok := o.Vector(1); !ok || v[0] != 1 {
+		t.Fatalf("pre-override Vector(1) = %v %v", v, ok)
+	}
+	o.Override(1, []float64{42, 43})
+	if v, _ := o.Vector(1); v[0] != 42 {
+		t.Errorf("override ignored: %v", v)
+	}
+	if v, _ := o.Base(1); v[0] != 1 {
+		t.Errorf("Base must bypass overrides: %v", v)
+	}
+	if got := o.Info().Overridden; got != 1 {
+		t.Errorf("Info().Overridden = %d, want 1", got)
+	}
+	if m.StaleVectors.Load() != 1 {
+		t.Errorf("stale_vectors gauge = %d, want 1", m.StaleVectors.Load())
+	}
+	// The universe is the inner's: overrides never widen it.
+	if n := len(o.IDs()); n != 3 {
+		t.Errorf("IDs() = %d ids, want 3", n)
+	}
+
+	o.Invalidate(1)
+	if v, _ := o.Vector(1); v[0] != 1 {
+		t.Errorf("Invalidate left the override: %v", v)
+	}
+	if m.StaleVectors.Load() != 0 {
+		t.Errorf("gauge after invalidate = %d, want 0", m.StaleVectors.Load())
+	}
+}
+
+// TestOverlaySwap pins the three swap modes: nil recompute retires every
+// override; a recompute replaces or retires per customer; a recompute
+// error aborts with the old state intact.
+func TestOverlaySwap(t *testing.T) {
+	o := NewOverlay(newMapProvider(3), &Metrics{})
+	o.Override(0, []float64{100, 100})
+	o.Override(2, []float64{200, 200})
+
+	// recompute: keep 0 (doubling its new base), retire 2.
+	next := newMapProvider(3)
+	err := o.Swap(next, func(id int64, base []float64) ([]float64, error) {
+		if id == 2 {
+			return nil, nil
+		}
+		return []float64{base[0] * 2, base[1] * 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Vector(0); v[0] != 0 { // base[0]=0, doubled is still 0
+		t.Errorf("recomputed override = %v", v)
+	}
+	if v, _ := o.Vector(2); v[0] != 2 {
+		t.Errorf("retired override still serving: %v", v)
+	}
+	if o.Overridden() != 1 {
+		t.Errorf("overridden after swap = %d, want 1", o.Overridden())
+	}
+
+	// An erroring recompute aborts: provider and overrides untouched.
+	bad := errors.New("boom")
+	if err := o.Swap(newMapProvider(3), func(int64, []float64) ([]float64, error) { return nil, bad }); !errors.Is(err, bad) {
+		t.Fatalf("swap error = %v, want boom", err)
+	}
+	if o.Overridden() != 1 {
+		t.Errorf("aborted swap mutated overrides: %d", o.Overridden())
+	}
+
+	// nil recompute: the new base covers everything, all overrides retire.
+	if err := o.Swap(newMapProvider(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Overridden() != 0 {
+		t.Errorf("overridden after full swap = %d, want 0", o.Overridden())
+	}
+	if err := o.Swap(nil, nil); err == nil {
+		t.Error("swap to nil provider accepted")
+	}
+}
+
+// TestOverlayConcurrentIngestWhileScoring races the write side (Override,
+// Invalidate, Swap — churnd's ingest and refresh paths) against scoring
+// readers, under -race. Scores must stay well-formed throughout: every
+// vector observed is either the inner's {i, i/2} or an override {i, i},
+// so sumClassifier yields 1.5i or 2i and anything else is a torn read.
+func TestOverlayConcurrentIngestWhileScoring(t *testing.T) {
+	const n = 64
+	o := NewOverlay(newMapProvider(n), &Metrics{})
+	scorer := NewScorer(&sumClassifier{}, o, Config{}, &Metrics{})
+	defer scorer.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan string, 1)
+
+	// Writer: streams overrides, occasionally invalidates or swaps the base.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4000; i++ {
+			id := int64(i % n)
+			switch {
+			case i%97 == 0:
+				o.Swap(newMapProvider(n), nil)
+			case i%13 == 0:
+				o.Invalidate(id)
+			default:
+				o.Override(id, []float64{float64(id), float64(id)})
+			}
+		}
+		close(stop)
+	}()
+
+	// Readers: batch scores while the writer churns.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			ids := make([]int64, 8)
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range ids {
+					ids[j] = int64((seed + round + j) % n)
+				}
+				scores, err := scorer.Score(context.Background(), ids)
+				if err != nil {
+					select {
+					case fail <- fmt.Sprintf("score: %v", err):
+					default:
+					}
+					return
+				}
+				for j, s := range scores {
+					i := float64(ids[j])
+					if s != 1.5*i && s != 2*i {
+						select {
+						case fail <- fmt.Sprintf("torn score for %d: %v", ids[j], s):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

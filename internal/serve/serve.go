@@ -83,7 +83,7 @@ func (c Config) withDefaults() Config {
 type Scorer struct {
 	clf     core.Classifier
 	single  core.SingleScorer // non-nil: the zero-alloc sync fast path
-	prov    VectorProvider
+	prov    Provider
 	cfg     Config
 	metrics *Metrics
 
@@ -119,7 +119,7 @@ type request struct {
 
 // NewScorer starts the shard batching loops. metrics may be nil (a private
 // one is created); retrieve it with Metrics for the /metrics endpoint.
-func NewScorer(clf core.Classifier, prov VectorProvider, cfg Config, m *Metrics) *Scorer {
+func NewScorer(clf core.Classifier, prov Provider, cfg Config, m *Metrics) *Scorer {
 	if m == nil {
 		m = &Metrics{}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,7 +17,7 @@ import (
 	"telcochurn/internal/tree"
 )
 
-// mapProvider is a deterministic in-memory VectorProvider.
+// mapProvider is a deterministic in-memory Provider.
 type mapProvider struct {
 	vecs  map[int64][]float64
 	calls atomic.Int64
@@ -37,6 +38,19 @@ func (p *mapProvider) Vector(id int64) ([]float64, bool) {
 }
 
 func (p *mapProvider) FeatureNames() []string { return []string{"a", "b"} }
+
+func (p *mapProvider) IDs() []int64 {
+	ids := make([]int64, 0, len(p.vecs))
+	for id := range p.vecs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (p *mapProvider) Info() ProviderInfo { return ProviderInfo{Source: "map", Rows: len(p.vecs)} }
+
+func (p *mapProvider) Invalidate(int64) {}
 
 // sumClassifier scores each row as a pure per-row function, like every
 // real classifier in the repo.

@@ -1,0 +1,396 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"telcochurn/internal/table"
+)
+
+// Event log: the warehouse's append-only side channel for streaming ingest.
+//
+// Partitions are immutable monthly batch artifacts; events arrive one at a
+// time between rebuilds. The log bridges the two: every accepted ingest
+// batch becomes one immutable segment file under <root>/.events/, committed
+// with the same temp-then-rename protocol as a partition, so a torn append
+// can never become visible. Replaying the segments in ascending sequence
+// order reproduces the exact arrival order of every event row — the
+// property the incremental feature maintainer's bit-identity argument
+// rests on (append-at-end of the serving month's rows, see
+// features/incremental.go).
+//
+// Layout:
+//
+//	<root>/.events/seq=00000001.tev
+//	<root>/.events/seq=00000002.tev
+//	...
+//
+// Each .tev (telco event segment) file is:
+//
+//	magic "TEV1" | uvarint seq | uvarint ntables |
+//	  ntables × (table name | table body) | CRC32
+//
+// where "table body" is the same schema+rows+columns encoding a .tct
+// partition uses (writeTableBody). Sequence numbers are dense within one
+// log epoch; MergeInto ends an epoch by folding every segment into its
+// month partitions and deleting them, after which numbering restarts at 1.
+
+const (
+	eventMagic    = "TEV1"
+	eventsDirName = ".events"
+	// eventsHookName is the pseudo-table name event-log operations report
+	// to fault hooks (the month argument carries the segment sequence).
+	eventsHookName = "events"
+	mergeMarker    = "merge-inprogress"
+)
+
+// ErrMergeInterrupted reports a previous MergeInto that died between its
+// first partition commit and its log truncation. Re-running the merge could
+// apply already-merged segments twice, so the log refuses until an operator
+// restores or rebuilds the affected months and removes the marker.
+var ErrMergeInterrupted = errors.New("store: previous event merge was interrupted; affected month partitions may already contain the logged events — rebuild them (or restore the warehouse) and remove .events/" + mergeMarker)
+
+// EventLog is an append-only record of ingested raw events, attached to a
+// warehouse. Appends are serialized by an internal mutex; replays are
+// lock-free over the immutable committed segments.
+type EventLog struct {
+	w   *Warehouse
+	dir string
+
+	mu   sync.Mutex
+	last uint64
+}
+
+// EventLog opens (creating if needed) the warehouse's event log.
+func (w *Warehouse) EventLog() (*EventLog, error) {
+	dir := filepath.Join(w.root, eventsDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open event log: %w", err)
+	}
+	l := &EventLog{w: w, dir: dir}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		l.last = segs[len(segs)-1]
+	}
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *EventLog) Dir() string { return l.dir }
+
+// LastSeq returns the sequence number of the newest committed segment in
+// the current epoch (0 = empty log).
+func (l *EventLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seq=%08d.tev", seq) }
+
+// segments lists the committed segment sequence numbers, ascending.
+func (l *EventLog) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seq=") || !strings.HasSuffix(name, ".tev") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seq="), ".tev"), 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Append commits one ingest batch — a set of per-table event rows — as a
+// new segment. Every table must be valid, non-empty in aggregate, and carry
+// BIGINT imsi and month columns (the keys replay, sharding and merging all
+// route by). The whole batch commits atomically: after a crash at any point
+// the segment is either fully visible or absent.
+func (l *EventLog) Append(batch map[string]*table.Table) (uint64, error) {
+	names := make([]string, 0, len(batch))
+	rows := 0
+	for name, t := range batch {
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		if err := t.Validate(); err != nil {
+			return 0, fmt.Errorf("store: refusing to append invalid events for %q: %w", name, err)
+		}
+		for _, key := range []string{"imsi", "month"} {
+			c := t.Col(key)
+			if c == nil || c.Type != table.Int64 {
+				return 0, fmt.Errorf("store: event rows for %q need a BIGINT %q column", name, key)
+			}
+		}
+		names = append(names, name)
+		rows += t.NumRows()
+	}
+	if rows == 0 {
+		return 0, errors.New("store: empty event batch")
+	}
+	sort.Strings(names)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.last + 1
+	write := func(f *os.File) error { return writeSegment(f, seq, names, batch) }
+	dst := filepath.Join(l.dir, segName(seq))
+	if err := l.w.runHook(OpAppendEvents, eventsHookName, int(seq)); err != nil {
+		var cr *Crash
+		if errors.As(err, &cr) {
+			return 0, crashingWriteFile(cr, l.dir, dst, write)
+		}
+		return 0, err
+	}
+	if err := atomicWriteFile(l.dir, dst, write); err != nil {
+		return 0, err
+	}
+	l.last = seq
+	return seq, nil
+}
+
+func writeSegment(f *os.File, seq uint64, names []string, batch map[string]*table.Table) error {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(eventMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	writeUvarint(cw, seq)
+	writeUvarint(cw, uint64(len(names)))
+	for _, name := range names {
+		writeString(cw, name)
+		writeTableBody(cw, batch[name])
+	}
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], cw.crc.Sum32())
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readSegment decodes one committed segment.
+func (l *EventLog) readSegment(seq uint64) ([]string, []*table.Table, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, segName(seq)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(eventMagic)+4 || string(data[:len(eventMagic)]) != eventMagic {
+		return nil, nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	body := data[len(eventMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, nil, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+	}
+	r := &sliceReader{b: body}
+	gotSeq, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if gotSeq != seq {
+		return nil, nil, fmt.Errorf("%w: segment %d claims seq %d", ErrCorrupt, seq, gotSeq)
+	}
+	ntables, err := r.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, ntables)
+	tables := make([]*table.Table, 0, ntables)
+	for i := uint64(0); i < ntables; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := readTableBody(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		tables = append(tables, t)
+	}
+	if r.pos != len(r.b) {
+		return nil, nil, fmt.Errorf("%w: %d trailing segment bytes", ErrCorrupt, len(r.b)-r.pos)
+	}
+	return names, tables, nil
+}
+
+// Replay streams every committed segment with sequence > after, ascending,
+// invoking fn once per (segment, table) pair in the segment's stored order.
+// Each segment read runs the OpReplayEvents hook, like a partition read.
+func (l *EventLog) Replay(after uint64, fn func(seq uint64, name string, t *table.Table) error) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq <= after {
+			continue
+		}
+		if err := l.w.runHook(OpReplayEvents, eventsHookName, int(seq)); err != nil {
+			return err
+		}
+		names, tables, err := l.readSegment(seq)
+		if err != nil {
+			return fmt.Errorf("store: replay segment %d: %w", seq, err)
+		}
+		for i, name := range names {
+			if err := fn(seq, name, tables[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Truncate deletes every segment with sequence <= through. In-memory
+// numbering continues from the highest sequence ever issued, so replays
+// within one process never see a sequence reused.
+func (l *EventLog) Truncate(through uint64) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq > through {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(seq))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeInto folds every logged event row into its (table, month) partition
+// — appended after the partition's existing rows, in log order, honoring
+// each table's committed shard layout — then truncates the merged segments,
+// ending the log epoch. A from-scratch build over the merged warehouse is
+// then bit-identical to the incremental maintainer's view of the same
+// events (same rows, same order, see features/incremental.go).
+//
+// Each partition commits atomically, but the merge as a whole is not
+// atomic: a crash between the first partition commit and the truncation
+// leaves a marker file, and subsequent merges fail with
+// ErrMergeInterrupted rather than risk double-applying segments. Run
+// merges against quiesced warehouses (stop churnd or drain ingest first).
+func (l *EventLog) MergeInto() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	marker := filepath.Join(l.dir, mergeMarker)
+	if _, err := os.Stat(marker); err == nil {
+		return 0, ErrMergeInterrupted
+	}
+
+	// Collect every logged row grouped by (table, month), preserving log
+	// order within each group.
+	grouped := map[string]map[int]*table.Table{}
+	total := 0
+	err := l.Replay(0, func(seq uint64, name string, t *table.Table) error {
+		months := t.MustCol("month").Ints
+		byMonth := grouped[name]
+		if byMonth == nil {
+			byMonth = map[int]*table.Table{}
+			grouped[name] = byMonth
+		}
+		seen := map[int]bool{}
+		for _, m := range months {
+			mi := int(m)
+			if seen[mi] {
+				continue
+			}
+			seen[mi] = true
+			part := t.Filter(func(i int) bool { return int(months[i]) == mi })
+			if cur := byMonth[mi]; cur != nil {
+				if err := cur.AppendTable(part); err != nil {
+					return fmt.Errorf("store: merge events for %q month=%d: %w", name, mi, err)
+				}
+			} else {
+				byMonth[mi] = part
+			}
+		}
+		total += t.NumRows()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	high := l.last
+
+	// Commit point: from here until truncation, a crash leaves the marker.
+	if err := os.WriteFile(marker, []byte("merge started; see ErrMergeInterrupted\n"), 0o644); err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(grouped))
+	for name := range grouped {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		shards, err := l.w.DetectShards(name)
+		if err != nil {
+			return 0, err
+		}
+		sw, err := l.w.Sharded(shards)
+		if err != nil {
+			return 0, err
+		}
+		months := make([]int, 0, len(grouped[name]))
+		for m := range grouped[name] {
+			months = append(months, m)
+		}
+		sort.Ints(months)
+		for _, m := range months {
+			events := grouped[name][m]
+			merged, err := l.w.ReadPartition(name, m)
+			switch {
+			case err == nil:
+				if err := merged.AppendTable(events); err != nil {
+					return 0, fmt.Errorf("store: merge events for %q month=%d: %w", name, m, err)
+				}
+			case errors.Is(err, fs.ErrNotExist):
+				merged = events
+			default:
+				return 0, err
+			}
+			if err := sw.WritePartition(name, m, merged); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := l.Truncate(high); err != nil {
+		return 0, err
+	}
+	if err := os.Remove(marker); err != nil {
+		return 0, err
+	}
+	return total, nil
+}

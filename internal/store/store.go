@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"telcochurn/internal/table"
 )
@@ -49,6 +50,11 @@ const (
 	OpWritePartition Op = "write-partition"
 	OpStageDay       Op = "stage-day"
 	OpReadStagedDay  Op = "read-staged-day"
+	// Event-log operations (see eventlog.go). The hook's name argument is
+	// the pseudo-table "events" and month carries the segment sequence
+	// number, so injectors address segments the way they address partitions.
+	OpAppendEvents Op = "append-events"
+	OpReplayEvents Op = "replay-events"
 )
 
 // Hook intercepts warehouse I/O before it touches disk. A nil return lets
@@ -155,12 +161,18 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 	return nil
 }
 
-// atomicWrite is the warehouse commit protocol: write a temp file in the
-// destination directory, then rename over the target. A reader can
-// therefore only ever observe the complete old file, the complete new file,
-// or no file — never a torn mix (rename within one directory is atomic on
-// POSIX filesystems).
+// atomicWrite is the warehouse commit protocol for tables: write a temp
+// file in the destination directory, then rename over the target.
 func atomicWrite(dir, dst string, t *table.Table) error {
+	return atomicWriteFile(dir, dst, func(f *os.File) error { return writeTable(f, t) })
+}
+
+// atomicWriteFile is the generic commit protocol: write a temp file in the
+// destination directory via the callback, then rename over the target. A
+// reader can therefore only ever observe the complete old file, the
+// complete new file, or no file — never a torn mix (rename within one
+// directory is atomic on POSIX filesystems).
+func atomicWriteFile(dir, dst string, write func(*os.File) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -169,7 +181,7 @@ func atomicWrite(dir, dst string, t *table.Table) error {
 		return err
 	}
 	tmpName := tmp.Name()
-	if err := writeTable(tmp, t); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -186,6 +198,12 @@ func atomicWrite(dir, dst string, t *table.Table) error {
 // temp file that no reader ever opens, or (after-rename) the committed new
 // partition. It always returns cr so callers observe the "crash".
 func (w *Warehouse) crashingWrite(cr *Crash, dir, dst string, t *table.Table) error {
+	return crashingWriteFile(cr, dir, dst, func(f *os.File) error { return writeTable(f, t) })
+}
+
+// crashingWriteFile is crashingWrite for arbitrary file contents (partition
+// tables and event-log segments share it).
+func crashingWriteFile(cr *Crash, dir, dst string, write func(*os.File) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -193,7 +211,7 @@ func (w *Warehouse) crashingWrite(cr *Crash, dir, dst string, t *table.Table) er
 	if err != nil {
 		return err
 	}
-	if err := writeTable(tmp, t); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return cr
 	}
@@ -284,7 +302,9 @@ func (w *Warehouse) Months(name string) ([]int, error) {
 	return months, nil
 }
 
-// Tables lists table names present in the warehouse.
+// Tables lists table names present in the warehouse. Dot-prefixed
+// directories are warehouse internals (the event log lives in ".events")
+// and are not tables.
 func (w *Warehouse) Tables() ([]string, error) {
 	entries, err := os.ReadDir(w.root)
 	if err != nil {
@@ -292,7 +312,7 @@ func (w *Warehouse) Tables() ([]string, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
 			names = append(names, e.Name())
 		}
 	}
@@ -338,42 +358,46 @@ func writeTable(f *os.File, t *table.Table) error {
 		return err
 	}
 	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	writeTableBody(cw, t)
 
-	// Schema block.
-	writeUvarint(cw, uint64(t.Schema.Len()))
-	for _, field := range t.Schema.Fields {
-		writeString(cw, field.Name)
-		writeUvarint(cw, uint64(field.Type))
+	// Trailing CRC of everything after the magic.
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], cw.crc.Sum32())
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
 	}
-	n := t.NumRows()
-	writeUvarint(cw, uint64(n))
+	return bw.Flush()
+}
 
-	// Column blocks.
+// writeTableBody encodes the schema block, row count and column blocks —
+// the framing-free middle of a .tct file. Partition files wrap one body in
+// magic + CRC; event-log segments pack several bodies into one frame.
+func writeTableBody(w io.Writer, t *table.Table) {
+	writeUvarint(w, uint64(t.Schema.Len()))
+	for _, field := range t.Schema.Fields {
+		writeString(w, field.Name)
+		writeUvarint(w, uint64(field.Type))
+	}
+	writeUvarint(w, uint64(t.NumRows()))
+
 	var scratch [8]byte
 	for _, col := range t.Cols {
 		switch col.Type {
 		case table.Int64:
 			for _, v := range col.Ints {
-				writeVarint(cw, v)
+				writeVarint(w, v)
 			}
 		case table.Float64:
 			for _, v := range col.Floats {
 				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-				cw.Write(scratch[:])
+				w.Write(scratch[:])
 			}
 		case table.String:
 			for _, v := range col.Strings {
-				writeString(cw, v)
+				writeString(w, v)
 			}
 		}
 	}
-
-	// Trailing CRC of everything after the magic.
-	binary.LittleEndian.PutUint32(scratch[:4], cw.crc.Sum32())
-	if _, err := bw.Write(scratch[:4]); err != nil {
-		return err
-	}
-	return bw.Flush()
 }
 
 func readTable(f *os.File) (*table.Table, error) {
@@ -391,6 +415,19 @@ func readTable(f *os.File) (*table.Table, error) {
 	}
 
 	r := &sliceReader{b: body}
+	t, err := readTableBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b)-r.pos)
+	}
+	return t, nil
+}
+
+// readTableBody decodes one schema + rows + columns body from the reader's
+// current position, the inverse of writeTableBody.
+func readTableBody(r *sliceReader) (*table.Table, error) {
 	ncols, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -451,9 +488,6 @@ func readTable(f *os.File) (*table.Table, error) {
 				col.Strings[i] = s
 			}
 		}
-	}
-	if r.pos != len(r.b) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b)-r.pos)
 	}
 	return t, nil
 }

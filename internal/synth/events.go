@@ -1,0 +1,132 @@
+package synth
+
+import (
+	"math/rand"
+
+	"telcochurn/internal/table"
+)
+
+// Event-stream generator: the velocity-axis counterpart of the monthly
+// world simulator. Where Generate emits complete month partitions, this
+// emits a plausible trickle of individual raw BSS/OSS records — the rows a
+// streaming ingest path (churnd POST /v1/events, churnctl ingest) would
+// receive between batch loads. It is deliberately independent of the world
+// model: stream rows are extra activity layered on top of whatever the
+// warehouse already holds, which is exactly the situation incremental
+// feature maintenance has to handle.
+
+// eventMix weights how generated events distribute across the streamable
+// tables, loosely following the relative row volumes of the simulator.
+var eventMix = []struct {
+	name   string
+	weight int
+}{
+	{TableCalls, 35},
+	{TableMessages, 20},
+	{TableRecharges, 15},
+	{TableWeb, 12},
+	{TableLocations, 10},
+	{TableComplaints, 4},
+	{TableSearch, 4},
+}
+
+// GenerateEvents deterministically produces n raw event rows for the given
+// customers in the given month, spread across the streamable event tables,
+// keyed by table name (empty tables are omitted). The same (ids, month,
+// daysPerMonth, n, seed) always yields the same batch.
+func GenerateEvents(ids []int64, month, daysPerMonth, n int, seed int64) map[string]*table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	out := map[string]*table.Table{}
+	if len(ids) == 0 || n <= 0 {
+		return out
+	}
+	totalWeight := 0
+	for _, m := range eventMix {
+		totalWeight += m.weight
+	}
+	tableFor := func() string {
+		w := rng.Intn(totalWeight)
+		for _, m := range eventMix {
+			if w < m.weight {
+				return m.name
+			}
+			w -= m.weight
+		}
+		return eventMix[0].name
+	}
+	get := func(name string, schema *table.Schema) *table.Table {
+		t := out[name]
+		if t == nil {
+			t = table.NewTable(schema)
+			out[name] = t
+		}
+		return t
+	}
+	complaintTexts := []string{
+		"network signal weak at home cannot make calls",
+		"billing error charged twice for data package",
+		"internet speed very slow video keeps buffering",
+		"service hotline long wait no resolution",
+	}
+	searchTexts := []string{
+		"mobile plan price comparison",
+		"how to check remaining data balance",
+		"china mobile number portability",
+		"best family bundle offers",
+	}
+	for i := 0; i < n; i++ {
+		imsi := ids[rng.Intn(len(ids))]
+		m := int64(month)
+		day := int64(1 + rng.Intn(daysPerMonth))
+		switch name := tableFor(); name {
+		case TableCalls:
+			dur := 0.0
+			success := int64(1)
+			if rng.Float64() < 0.9 {
+				dur = 10 + rng.ExpFloat64()*120
+			} else {
+				success = 0
+			}
+			get(name, CallsSchema).AppendRow(
+				imsi, int64(1_000_000+rng.Intn(4_000_000)), m, day,
+				dur, int64(rng.Intn(4)), int64(rng.Intn(2)), int64(rng.Intn(3)),
+				success, int64(0), 0.5+rng.Float64()*2,
+				3+rng.Float64()*1.5, 3+rng.Float64()*1.5, 3+rng.Float64()*1.5,
+				int64(0), int64(0), int64(0), int64(rng.Intn(2)),
+				int64(0), int64(rng.Intn(2)), int64(0), int64(0), int64(0),
+			)
+		case TableMessages:
+			get(name, MessagesSchema).AppendRow(
+				imsi, int64(1_000_000+rng.Intn(4_000_000)), m, day,
+				int64(rng.Intn(4)), int64(rng.Intn(2)), int64(0), int64(rng.Intn(3)),
+				int64(0), int64(0),
+			)
+		case TableRecharges:
+			amounts := []float64{10, 30, 50, 100}
+			get(name, RechargesSchema).AppendRow(imsi, m, day, amounts[rng.Intn(len(amounts))])
+		case TableWeb:
+			req := int64(1 + rng.Intn(40))
+			succ := req - int64(rng.Intn(3))
+			if succ < 0 {
+				succ = 0
+			}
+			get(name, WebSchema).AppendRow(
+				imsi, m, day, req, succ, 0.5+rng.Float64()*3, succ, 1+rng.Float64()*4,
+				200+rng.Float64()*1800, 50+rng.Float64()*400, rng.Float64()*80,
+				40+rng.Float64()*160, int64(5+rng.Intn(40)), int64(6+rng.Intn(42)),
+				rng.Float64()*10, rng.Float64()*1000, int64(rng.Intn(5)), int64(rng.Intn(5)),
+				20+rng.Float64()*200,
+			)
+		case TableLocations:
+			get(name, LocationsSchema).AppendRow(
+				imsi, m, day, int64(rng.Intn(3)), int64(rng.Intn(400)), int64(rng.Intn(20)),
+				31+rng.Float64(), 121+rng.Float64(),
+			)
+		case TableComplaints:
+			get(name, ComplaintsSchema).AppendRow(imsi, m, day, complaintTexts[rng.Intn(len(complaintTexts))])
+		case TableSearch:
+			get(name, SearchSchema).AppendRow(imsi, m, day, searchTexts[rng.Intn(len(searchTexts))])
+		}
+	}
+	return out
+}

@@ -2,7 +2,10 @@
 # End-to-end serving smoke test: train a tiny artifact on synthetic data,
 # start churnd, score one batch over HTTP and assert exact score parity with
 # the batch path (`churnctl score -full`), then knock out a raw table and
-# assert degraded-mode scoring still serves with the mask reported. Run via
+# assert degraded-mode scoring still serves with the mask reported. The
+# final section exercises the streaming path: ingest a recharge event into a
+# live churnd and assert the served score moves on the very next request AND
+# lands bit-identical to a full rebuild over the merged warehouse. Run via
 # `make e2e`; CI runs the same script. Needs the go toolchain, bash and
 # standard POSIX tools.
 set -euo pipefail
@@ -167,12 +170,79 @@ CHURND_PID=""
 "$WORK/churnd" -artifact "$WORK/model4p.tcpa" -warehouse "$WORK/wh4" -addr "127.0.0.1:$PORT" &
 CHURND_PID=$!
 wait_healthy
-curl -sf "http://127.0.0.1:$PORT/readyz" | grep -q '"source":"vectors"' \
+curl -sf "http://127.0.0.1:$PORT/readyz" | grep -q '"provider":"vectors"' \
     || { echo "e2e: churnd did not serve from the vector snapshot"; exit 1; }
 VID="$(head -1 "$WORK/batch4.csv" | cut -d, -f2)"
 VSCORE="$(head -1 "$WORK/batch4.csv" | cut -d, -f3)"
 curl -sf -X POST -d "{\"id\":$VID}" "http://127.0.0.1:$PORT/v1/score" | grep -q "$VSCORE" \
     || { echo "e2e: warehouse-free served score mismatch"; exit 1; }
 echo "   snapshot served without a warehouse, scores unchanged"
+
+echo "== streaming ingest freshness =="
+# A fresh world with an empty event log: ingest one recharge into a live
+# churnd and the very next score request must already reflect it (the fold
+# is synchronous with the ingest response) — and must be bit-identical to
+# what a from-scratch rebuild computes once the log is merged into the
+# monthly partitions.
+kill "$CHURND_PID"
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+"$WORK/churnctl" generate -out "$WORK/whs" -customers 400 -months 4
+"$WORK/churnctl" train -warehouse "$WORK/whs" -out "$WORK/models.tcpa" -trees 20
+"$WORK/churnd" -artifact "$WORK/models.tcpa" -warehouse "$WORK/whs" -addr "127.0.0.1:$PORT" &
+CHURND_PID=$!
+wait_healthy
+curl -sf "http://127.0.0.1:$PORT/readyz" | grep -q '"ingest":true' \
+    || { echo "e2e: churnd did not enable ingest over the warehouse"; exit 1; }
+
+CUST="$(curl -sf "http://127.0.0.1:$PORT/v1/customers?limit=10")"
+CAND="$(echo "$CUST" | sed -n 's/.*"ids":\[\([0-9,]*\)\].*/\1/p' | tr ',' ' ')"
+FMONTH="$(echo "$CUST" | sed -n 's/.*"month":\([0-9]*\).*/\1/p')"
+[ -n "$CAND" ] && [ -n "$FMONTH" ] || { echo "e2e: customer discovery failed: $CUST"; exit 1; }
+
+# Score, ingest a burst of raw events, score again: the served score must
+# move on the very next request. The burst is a recharge plus a run of
+# heavy web sessions — web usage drives the forest's top features
+# (flux/throughput), while staying off the graph groups so the incremental
+# fold and the full rebuild agree on every column. A burst may still not
+# cross any split threshold for a given customer, so each candidate gets
+# one and we accept the first customer whose score moves.
+score_one() {
+    curl -sf -X POST -d "{\"ids\":[$1]}" "http://127.0.0.1:$PORT/v1/score" \
+        | tr -d ' ' | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p'
+}
+FID=""
+for ID in $CAND; do
+    BEFORE="$(score_one "$ID")"
+    EVS="{\"table\":\"recharges\",\"imsi\":$ID,\"month\":$FMONTH,\"day\":7,\"fields\":{\"amount\":250}},"
+    for D in 2 5 9 14 20; do
+        EVS="$EVS{\"table\":\"web\",\"imsi\":$ID,\"month\":$FMONTH,\"day\":$D,\"fields\":{\"page_req\":40,\"page_succ\":38,\"resp_delay\":0.8,\"browse_succ\":35,\"browse_delay\":1.1,\"dl_tp\":900,\"ul_tp\":250,\"flux\":600,\"tcp_rtt\":90}},"
+    done
+    INGEST="$(curl -sf -X POST -d "{\"events\":[${EVS%,}]}" "http://127.0.0.1:$PORT/v1/events")"
+    echo "$INGEST" | grep -q '"applied":6' \
+        || { echo "e2e: ingest did not apply the burst: $INGEST"; exit 1; }
+    AFTER="$(score_one "$ID")"
+    [ -n "$BEFORE" ] && [ -n "$AFTER" ] || { echo "e2e: score extraction failed"; exit 1; }
+    if [ "$BEFORE" != "$AFTER" ]; then
+        FID="$ID"
+        break
+    fi
+done
+[ -n "$FID" ] || { echo "e2e: no served score moved after ingest bursts"; exit 1; }
+echo "   score for customer $FID moved $BEFORE -> $AFTER on the next request"
+
+# Bit-equality with the batch path: quiesce churnd, fold the log into the
+# monthly partitions, and rebuild from scratch. Same rows, same order —
+# the incremental fold and the full rebuild must print the same bits.
+kill "$CHURND_PID"
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+"$WORK/churnctl" ingest -warehouse "$WORK/whs" -merge | grep -q "merged [1-9]" \
+    || { echo "e2e: merge did not fold the logged events"; exit 1; }
+FULL="$("$WORK/churnctl" score -warehouse "$WORK/whs" -model "$WORK/models.tcpa" -top 0 -full \
+    | awk -F, -v id="$FID" '$2 == id { print $3 }')"
+[ "$AFTER" = "$FULL" ] \
+    || { echo "e2e: incremental score $AFTER != full-rebuild score $FULL"; exit 1; }
+echo "   incremental score bit-identical to the full rebuild after merge"
 
 echo "e2e: OK"

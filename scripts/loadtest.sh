@@ -6,8 +6,13 @@
 # latency regression guard. The report lands in LOAD.json (benchjson's
 # document shape) for diffing across runs with `benchjson -compare`.
 #
+# A second, mixed read/write pass (-ingest-mix) interleaves event posts to
+# /v1/events with the scores under the same gates, so the latency cost of
+# ingest-while-scoring is regression-guarded too. Set LOAD_INGEST_MIX=0 to
+# skip it.
+#
 # Tunables: LOAD_PORT, LOAD_RPS, LOAD_DURATION, LOAD_CONNS, LOAD_MAX_P99,
-# LOAD_OUT.
+# LOAD_OUT, LOAD_INGEST_MIX, LOAD_MIX_OUT.
 set -euo pipefail
 
 PORT="${LOAD_PORT:-18090}"
@@ -16,6 +21,8 @@ DURATION="${LOAD_DURATION:-10s}"
 CONNS="${LOAD_CONNS:-16}"
 MAX_P99="${LOAD_MAX_P99:-250ms}"
 OUT="${LOAD_OUT:-LOAD.json}"
+INGEST_MIX="${LOAD_INGEST_MIX:-0.1}"
+MIX_OUT="${LOAD_MIX_OUT:-LOAD_MIX.json}"
 WORK="$(mktemp -d)"
 CHURND_PID=""
 cleanup() {
@@ -50,5 +57,12 @@ done
 echo "== open-loop load: $RPS rps for $DURATION (gates: p99 <= $MAX_P99, zero non-2xx) =="
 "$WORK/churnload" -addr "127.0.0.1:$PORT" -rps "$RPS" -duration "$DURATION" \
     -conns "$CONNS" -out "$OUT" -max-p99 "$MAX_P99" -max-non2xx 0
+
+if [ "$INGEST_MIX" != "0" ]; then
+    echo "== mixed load: $RPS rps, ingest mix $INGEST_MIX (same gates) =="
+    "$WORK/churnload" -addr "127.0.0.1:$PORT" -rps "$RPS" -duration "$DURATION" \
+        -conns "$CONNS" -ingest-mix "$INGEST_MIX" -name BenchmarkChurnloadMixed \
+        -out "$MIX_OUT" -max-p99 "$MAX_P99" -max-non2xx 0
+fi
 
 echo "loadtest: OK (report in $OUT)"
