@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-compare bench-profile chaos e2e loadtest scale-smoke ci experiments examples clean
+.PHONY: all build vet fmt-check test test-short test-race cover bench bench-smoke bench-json bench-compare bench-profile chaos chaos-net e2e loadtest scale-smoke ci experiments examples clean
 
 all: build vet test
 
@@ -73,6 +73,17 @@ chaos:
 		./internal/faults/ ./internal/store/ ./internal/features/ \
 		./internal/core/ ./internal/serve/ ./cmd/churnd/
 
+# Network chaos: the seeded TCP fault proxy's property tests under -race,
+# then the full proxied harness — churnd behind cmd/netproxy under a mixed
+# churnload run with relaxed gates, a fault-schedule determinism check, and
+# the kill-and-restart e2e (SIGKILL mid-ingest, torn event-log tail,
+# quarantined restart, served scores bit-identical to the merged rebuild).
+# See scripts/chaos_net.sh and DESIGN.md §15.
+chaos-net:
+	$(GO) test -race -count=1 -run 'Proxy|Quarantine|Sync|Drain|Deadline|Panic' \
+		./internal/faults/ ./internal/store/ ./cmd/churnd/
+	bash scripts/chaos_net.sh
+
 # Serving smoke test: train a tiny artifact, start churnd, score a batch
 # over HTTP, assert bit-identical parity with `churnctl score`, then knock
 # out a raw table and assert degraded-mode serving reports its mask.
@@ -94,7 +105,7 @@ scale-smoke:
 	bash scripts/scale_smoke.sh
 
 # Everything the CI workflow checks, in the same order.
-ci: build vet fmt-check test-race chaos bench-smoke scale-smoke e2e loadtest
+ci: build vet fmt-check test-race chaos chaos-net bench-smoke scale-smoke e2e loadtest
 
 # Regenerate every table and figure at reference scale (see EXPERIMENTS.md).
 experiments:

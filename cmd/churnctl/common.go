@@ -21,6 +21,7 @@ type sourceFlags struct {
 	shards   *int
 	retries  *int
 	degraded *bool
+	fsync    *string
 }
 
 // addSourceFlags registers the shared warehouse flags on fs.
@@ -31,11 +32,23 @@ func addSourceFlags(fs *flag.FlagSet) *sourceFlags {
 		shards:   fs.Int("shards", 0, "shard count for sharded reads (0 = detect from layout)"),
 		retries:  fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)"),
 		degraded: fs.Bool("degraded", false, "tolerate unavailable raw tables where the subcommand supports imputation"),
+		fsync:    fs.String("fsync", "always", "write durability: always, off, or a flush interval like 500ms"),
 	}
 }
 
-// open opens the warehouse directory.
-func (f *sourceFlags) open() (*store.Warehouse, error) { return store.Open(*f.dir) }
+// open opens the warehouse directory under the -fsync durability policy.
+func (f *sourceFlags) open() (*store.Warehouse, error) {
+	policy, err := store.ParseSyncPolicy(*f.fsync)
+	if err != nil {
+		return nil, err
+	}
+	wh, err := store.Open(*f.dir)
+	if err != nil {
+		return nil, err
+	}
+	wh.SetSync(policy)
+	return wh, nil
+}
 
 // detectShards resolves the effective shard count: the -shards override,
 // or the customers table's on-disk layout.

@@ -108,6 +108,7 @@ func cmdGenerate(args []string) error {
 	daily := fs.Bool("daily", false, "land event tables day by day and compact (the platform's daily ETL flow)")
 	shards := fs.Int("shards", 1, "hash-shard each month partition N ways (1 = plain layout)")
 	burnin := fs.Int("burnin", 0, "unrecorded burn-in months before month 1 (0 = generator default)")
+	fsyncMode := fs.String("fsync", "always", "write durability: always, off, or a flush interval like 500ms (synthetic data is rebuildable — off is safe here)")
 	fs.Parse(args)
 
 	cfg := synth.DefaultConfig()
@@ -116,10 +117,15 @@ func cmdGenerate(args []string) error {
 	cfg.Seed = *seed
 	cfg.BurnInMonths = *burnin
 
+	policy, err := store.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		return err
+	}
 	wh, err := store.Open(*out)
 	if err != nil {
 		return err
 	}
+	wh.SetSync(policy)
 	start := time.Now()
 	switch {
 	case *daily && *shards > 1:

@@ -57,6 +57,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -85,18 +86,27 @@ func main() {
 	workers := fs.Int("workers", 0, "parallelism for the feature build (0 = all cores)")
 	degraded := fs.Bool("degraded", false, "serve even when raw tables are unavailable (impute their feature groups, report the mask)")
 	retries := fs.Int("retries", 0, "read attempts per source operation (0 = default 4, 1 = no retries)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight requests")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline, 504 on expiry (0 disables; /v1/refresh gets 6x)")
+	fsyncMode := fs.String("fsync", "always", "warehouse/event-log durability: always, off, or a flush interval like 500ms")
 	pprofAddr := fs.String("pprof", "", "mount net/http/pprof on this side address (empty = off)")
 	fs.Parse(os.Args[1:])
 
+	fsync, err := store.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatal("churnd: ", err)
+	}
 	svc, err := buildService(serviceOpts{
-		artifact:  *artifact,
-		warehouse: *warehouse,
-		month:     *month,
-		cfg:       serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue, Shards: *shards},
-		cacheTTL:  *cacheTTL,
-		workers:   *workers,
-		degraded:  *degraded,
-		retries:   *retries,
+		artifact:   *artifact,
+		warehouse:  *warehouse,
+		month:      *month,
+		cfg:        serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queue, Shards: *shards},
+		cacheTTL:   *cacheTTL,
+		workers:    *workers,
+		degraded:   *degraded,
+		retries:    *retries,
+		reqTimeout: *reqTimeout,
+		fsync:      fsync,
 	})
 	if err != nil {
 		log.Fatal("churnd: ", err)
@@ -117,11 +127,22 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Drain sequence on SIGINT/SIGTERM: mark draining (new readiness probes
+	// get 503, new refreshes are refused), stop accepting and let in-flight
+	// requests finish within -drain-timeout, then force-close whatever is
+	// left. main waits on drained before svc.Close() flushes the event log.
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("churnd: draining (budget %v)", *drainTimeout)
+		svc.draining.Store(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		srv.Shutdown(shutdownCtx)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("churnd: drain incomplete after %v (%v); closing remaining connections", *drainTimeout, err)
+			srv.Close()
+		}
 	}()
 
 	hup := make(chan os.Signal, 1)
@@ -146,6 +167,11 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("churnd: ", err)
 	}
+	// ErrServerClosed means the drain goroutine is mid-shutdown; wait for it
+	// so the deferred svc.Close() (scorer stop + event-log flush) runs after
+	// the last in-flight request, not during it.
+	<-drained
+	log.Print("churnd: drained")
 }
 
 // serviceOpts is everything needed to build — and rebuild, on SIGHUP — the
@@ -159,6 +185,11 @@ type serviceOpts struct {
 	workers   int
 	degraded  bool
 	retries   int
+	// reqTimeout is the per-request deadline (0 = none); expired requests
+	// render the 504 envelope. fsync is the warehouse durability policy
+	// (zero value = always, the safe default).
+	reqTimeout time.Duration
+	fsync      store.SyncPolicy
 }
 
 // engine is the hot-swappable serving unit: one artifact serving one month.
@@ -205,11 +236,16 @@ type service struct {
 	metrics *serve.Metrics
 	cur     atomic.Pointer[engine]
 	// ingestMu serializes event folding and provider swaps; appliedSeq is
-	// the log sequence folded into the current engine's maintainer
-	// (guarded by ingestMu).
-	ingestMu   sync.Mutex
-	appliedSeq uint64
-	refreshing atomic.Bool
+	// the log sequence folded into the current engine's maintainer and
+	// quarantined the count of its log's quarantine records already
+	// surfaced (both guarded by ingestMu).
+	ingestMu    sync.Mutex
+	appliedSeq  uint64
+	quarantined int
+	refreshing  atomic.Bool
+	// draining flips once at shutdown: readiness goes 503 and new
+	// refreshes are refused while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // buildService loads the artifact, builds the serving base for one
@@ -253,6 +289,7 @@ func (s *service) buildEngine() (*engine, error) {
 	if whErr == nil {
 		// The customer snapshot anchors month discovery: it is the one table
 		// serving cannot impute around, so its months are the servable months.
+		wh.SetSync(opts.fsync)
 		monthsAvail, whErr = wh.Months(synth.TableCustomers)
 		if whErr == nil && len(monthsAvail) == 0 {
 			whErr = fmt.Errorf("empty warehouse %s (run churnctl generate)", opts.warehouse)
@@ -408,6 +445,14 @@ func (s *service) foldLocked() (int, int, error) {
 		}
 		e.overlay.Override(id, row)
 	}
+	// Surface any tail segments the replay quarantined instead of failing.
+	if qs := e.log.Quarantines(); len(qs) > s.quarantined {
+		for _, q := range qs[s.quarantined:] {
+			s.metrics.EventsQuarantined.Add(1)
+			log.Printf("churnd: quarantined corrupt event-log tail segment %d -> %s (%s)", q.Seq, q.Path, q.Err)
+		}
+		s.quarantined = len(qs)
+	}
 	return e.inc.Maintainer().Applied() - before, len(affected), err
 }
 
@@ -426,6 +471,7 @@ func (s *service) reload() error {
 	s.ingestMu.Lock()
 	old := s.cur.Swap(e)
 	s.appliedSeq = 0
+	s.quarantined = 0 // the new engine opened a fresh EventLog instance
 	if _, _, ferr := s.foldLocked(); ferr != nil && !errors.Is(ferr, errIngestUnavailable) {
 		log.Printf("churnd: event log replay after reload: %v", ferr)
 	}
@@ -437,14 +483,24 @@ func (s *service) reload() error {
 	return nil
 }
 
-// Close stops the current engine's batching loop.
+// Close stops the current engine's batching loop and flushes any event-log
+// commits the durability policy is still holding, so an interval-mode
+// daemon exits with its accepted batches on stable storage.
 func (s *service) Close() {
 	if e := s.cur.Load(); e != nil {
 		e.scorer.Close()
+		if e.log != nil {
+			if err := e.log.Sync(); err != nil {
+				log.Printf("churnd: event log sync on close: %v", err)
+			}
+		}
 	}
 }
 
-// Handler returns the HTTP mux for the service.
+// Handler returns the HTTP mux for the service, wrapped in the lifecycle
+// middleware: panics become 500 envelopes (outermost, so it also covers
+// the deadline layer), and every request carries the -request-timeout
+// deadline.
 func (s *service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
@@ -454,7 +510,68 @@ func (s *service) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(s.withDeadline(mux))
+}
+
+// trackedWriter remembers whether a response has started, so the panic
+// middleware only writes its envelope onto an untouched response.
+type trackedWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackedWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackedWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// recoverPanics converts a handler panic into a 500 envelope (when the
+// response hasn't started) plus a panics_recovered count and a stack in the
+// log — one bad request must not take down the daemon. http.ErrAbortHandler
+// re-panics: it is net/http's sanctioned way to abort a response.
+func (s *service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackedWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.metrics.PanicsRecovered.Add(1)
+			log.Printf("churnd: recovered panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !tw.wrote {
+				writeError(tw, http.StatusInternalServerError, "internal", "internal server error", false)
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// withDeadline attaches the -request-timeout deadline to every request
+// context. The scoring path observes it inside Score (504 via scoreStatus);
+// the slow handlers check it at their commit points. /v1/refresh rebuilds
+// the whole frame, so it gets six budgets.
+func (s *service) withDeadline(next http.Handler) http.Handler {
+	if s.opts.reqTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.opts.reqTimeout
+		if r.URL.Path == "/v1/refresh" {
+			d *= 6
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // ---- error envelope ----
@@ -598,6 +715,12 @@ func (s *service) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	// Commit point: the deadline is only honored before the durable append —
+	// once the batch is in the log it will be folded, not half-applied.
+	if r.Context().Err() != nil {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired before commit", true)
+		return
+	}
 	// Durability first: the batch is committed to the log before anything
 	// folds, so a crash between the two replays it on restart.
 	seq, err := e.log.Append(tables)
@@ -641,6 +764,12 @@ func (s *service) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", false)
 		return
 	}
+	if s.draining.Load() {
+		// A refresh is a multi-second rebuild; don't start one the drain
+		// budget would abort.
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "draining", true)
+		return
+	}
 	e := s.cur.Load()
 	if e == nil || !e.ingestReady() || e.src == nil {
 		writeError(w, http.StatusServiceUnavailable, "unavailable", errIngestUnavailable.Error(), true)
@@ -680,6 +809,14 @@ func (s *service) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.metrics.RefreshFailures.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "unavailable", "rebuild serving frame: "+err.Error(), true)
+		return
+	}
+
+	// The swap is cheap, but a client whose deadline has already expired
+	// gets the 504 now rather than a success it will never read.
+	if r.Context().Err() != nil {
+		s.metrics.RefreshFailures.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired during rebuild", true)
 		return
 	}
 
@@ -753,6 +890,13 @@ func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and accepting scores. A degraded window is still ready (it serves, with
 // the mask reported); a closed or absent engine is not.
 func (s *service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Shutdown in progress: tell balancers to route elsewhere while
+		// in-flight requests finish.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
 	e := s.cur.Load()
 	if e == nil || e.scorer.Closed() {
 		w.Header().Set("Retry-After", "1")

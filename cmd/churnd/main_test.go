@@ -574,3 +574,216 @@ func TestRestartReplaysEventLog(t *testing.T) {
 		t.Fatalf("restart lost the event: %v, want %v", *sr.Score, fresh)
 	}
 }
+
+// TestPanicRecovery: a handler panic becomes a 500 envelope plus a
+// panics_recovered count — except http.ErrAbortHandler, which the
+// middleware re-raises, and panics after the response started, which only
+// get counted (the envelope never corrupts a half-written body).
+func TestPanicRecovery(t *testing.T) {
+	svc, _ := buildTestService(t)
+
+	boom := svc.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	boom.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/score", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	var env errEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "internal" {
+		t.Fatalf("panic response not the internal envelope: %s", rec.Body.Bytes())
+	}
+	if got := svc.metrics.PanicsRecovered.Load(); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+
+	// A panic after the handler wrote: the status and body it sent stand.
+	late := svc.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("after write")
+	}))
+	rec = httptest.NewRecorder()
+	late.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/score", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Errorf("post-write panic rewrote the response: %d, want 202", rec.Code)
+	}
+	if got := svc.metrics.PanicsRecovered.Load(); got != 2 {
+		t.Errorf("panics_recovered = %d, want 2", got)
+	}
+
+	// http.ErrAbortHandler is net/http's sanctioned abort: re-panic.
+	abort := svc.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Error("ErrAbortHandler was swallowed instead of re-raised")
+			}
+		}()
+		abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/score", nil))
+	}()
+	if got := svc.metrics.PanicsRecovered.Load(); got != 2 {
+		t.Errorf("panics_recovered counted the abort: %d, want 2", got)
+	}
+}
+
+// TestRequestDeadline: with -request-timeout, an expired context renders
+// the 504 timeout envelope on both the score path (via scoreStatus) and
+// the ingest commit point — never a half-applied write.
+func TestRequestDeadline(t *testing.T) {
+	whDir, artifact, want := makeWorld(t)
+	svc, err := buildService(serviceOpts{
+		artifact:   artifact,
+		warehouse:  whDir,
+		cacheTTL:   time.Minute,
+		reqTimeout: time.Nanosecond, // expired before any handler runs
+	})
+	if err != nil {
+		t.Fatalf("buildService: %v", err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	status, body, hdr := doRequest(t, ts, "POST", "/v1/score", `{"id":`+int64String(want.IDs[0])+`}`)
+	var env errEnvelope
+	json.Unmarshal(body, &env)
+	if status != http.StatusGatewayTimeout || env.Error.Code != "timeout" || !env.Error.Retryable {
+		t.Fatalf("expired score = %d %s, want 504 timeout retryable", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("504 missing Retry-After")
+	}
+
+	batch := `{"events":[{"table":"recharges","imsi":` + int64String(want.IDs[0]) + `,"month":4,"day":9,"fields":{"amount":500}}]}`
+	status, body, _ = doRequest(t, ts, "POST", "/v1/events", batch)
+	json.Unmarshal(body, &env)
+	if status != http.StatusGatewayTimeout || env.Error.Code != "timeout" {
+		t.Fatalf("expired ingest = %d %s, want 504 timeout", status, body)
+	}
+	// The deadline fired before the commit point: nothing reached the log.
+	if e := svc.cur.Load(); e.log.LastSeq() != 0 {
+		t.Errorf("timed-out ingest committed seq %d, want nothing logged", e.log.LastSeq())
+	}
+}
+
+// TestDrainingLifecycle: once draining flips, readiness reports it (so
+// balancers route away) and new refreshes are refused, while in-flight
+// scoring keeps working until the listener closes.
+func TestDrainingLifecycle(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	svc.draining.Store(true)
+	status, body, hdr := getJSON(t, ts.URL+"/readyz")
+	if status != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("draining readyz = %d %v, want 503 draining", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining readyz missing Retry-After")
+	}
+	rstatus, rbody, _ := doRequest(t, ts, "POST", "/v1/refresh", ``)
+	var env errEnvelope
+	json.Unmarshal(rbody, &env)
+	if rstatus != http.StatusServiceUnavailable || env.Error.Message != "draining" || !env.Error.Retryable {
+		t.Fatalf("draining refresh = %d %s, want 503 draining retryable", rstatus, rbody)
+	}
+	// Scores still serve: draining drains, it does not drop.
+	if status, _, raw := postScore(t, ts, `{"id":`+int64String(want.IDs[0])+`}`); status != http.StatusOK {
+		t.Fatalf("score while draining = %d %s, want 200", status, raw)
+	}
+
+	svc.draining.Store(false)
+	if status, body, _ := getJSON(t, ts.URL+"/readyz"); status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after drain cleared = %d %v, want 200 ready", status, body)
+	}
+}
+
+// TestRestartQuarantinesCorruptTail: the churnd half of the quarantine
+// contract. Two ingested batches, the tail segment's CRC ruined on disk, a
+// restart: the survivor batch still serves its fresh score, the corrupt
+// tail is sidecar-quarantined (events_quarantined metric, .quarantine
+// file), the lost batch's customer falls back to the base score, and the
+// next ingest takes a fresh sequence number.
+func TestRestartQuarantinesCorruptTail(t *testing.T) {
+	svc, want := buildTestService(t)
+	ts := httptest.NewServer(svc.Handler())
+	idA, idB := want.IDs[3], want.IDs[5]
+	for i, id := range []int64{idA, idB} {
+		batch := `{"events":[{"table":"recharges","imsi":` + int64String(id) + `,"month":4,"day":9,"fields":{"amount":500}}]}`
+		if status, body, _ := doRequest(t, ts, "POST", "/v1/events", batch); status != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i+1, status, body)
+		}
+	}
+	status, sr, _ := postScore(t, ts, `{"id":`+int64String(idA)+`}`)
+	if status != http.StatusOK {
+		t.Fatal("post-ingest score failed")
+	}
+	freshA := *sr.Score
+	ts.Close()
+	svc.Close()
+
+	// Flip the tail segment's last byte: that is the CRC trailer.
+	seg := filepath.Join(svc.opts.warehouse, ".events", "seq=00000002.tev")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := buildService(svc.opts)
+	if err != nil {
+		t.Fatalf("restart over corrupt tail: %v", err)
+	}
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+
+	if got := svc2.metrics.EventsQuarantined.Load(); got != 1 {
+		t.Errorf("events_quarantined = %d, want 1", got)
+	}
+	_, metrics, _ := getJSON(t, ts2.URL+"/metrics")
+	if metrics["events_quarantined"].(float64) != 1 {
+		t.Errorf("/metrics events_quarantined = %v, want 1", metrics["events_quarantined"])
+	}
+	if _, err := os.Stat(seg + ".quarantine"); err != nil {
+		t.Errorf("quarantine sidecar missing: %v", err)
+	}
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Errorf("corrupt segment still in the replay path: %v", err)
+	}
+
+	// Batch 1 survived the quarantine; batch 2's customer is back at base.
+	status, sr, raw := postScore(t, ts2, `{"id":`+int64String(idA)+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart score: %d %s", status, raw)
+	}
+	if *sr.Score != freshA {
+		t.Errorf("surviving batch lost: %v, want %v", *sr.Score, freshA)
+	}
+	status, sr, _ = postScore(t, ts2, `{"id":`+int64String(idB)+`}`)
+	if status != http.StatusOK {
+		t.Fatal("score for quarantined customer failed")
+	}
+	if *sr.Score != want.Scores[5] {
+		t.Errorf("quarantined batch still serving: %v, want base %v", *sr.Score, want.Scores[5])
+	}
+
+	// Sequence numbers never rewind past a quarantined segment.
+	batch := `{"events":[{"table":"recharges","imsi":` + int64String(idB) + `,"month":4,"day":21,"fields":{"amount":100}}]}`
+	status, body, _ := doRequest(t, ts2, "POST", "/v1/events", batch)
+	if status != http.StatusOK {
+		t.Fatalf("post-quarantine ingest: %d %s", status, body)
+	}
+	var ev eventsResponse
+	json.Unmarshal(body, &ev)
+	if ev.Seq != 3 {
+		t.Errorf("post-quarantine seq = %d, want 3 (no reuse of the quarantined 2)", ev.Seq)
+	}
+}

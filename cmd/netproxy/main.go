@@ -1,0 +1,71 @@
+// Command netproxy runs the deterministic seeded TCP fault proxy from
+// internal/faults in front of an upstream address — the network half of the
+// chaos harness:
+//
+//	netproxy -listen 127.0.0.1:18080 -upstream 127.0.0.1:8080 \
+//	  -seed 42 -reset 0.05 -read-latency 20ms -stall 0.02 -stall-duration 500ms
+//
+// Every fault decision is a pure function of (seed, site, connection index,
+// attempt), so rerunning the same client sequence against the same seed
+// reproduces the same resets at the same byte offsets. scripts/chaos_net.sh
+// places churnd behind it and drives churnload through it; the fired-fault
+// counters print to stderr on SIGINT/SIGTERM so the harness can assert the
+// faults actually happened.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"telcochurn/internal/faults"
+)
+
+func main() {
+	fs := flag.NewFlagSet("netproxy", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:18080", "address to accept client connections on")
+	upstream := fs.String("upstream", "127.0.0.1:8080", "address to forward to")
+	seed := fs.Int64("seed", 1, "fault-schedule seed")
+	site := fs.String("site", "netproxy", "site name in the decision key")
+	reset := fs.Float64("reset", 0, "per-connection reset probability")
+	resetWindow := fs.Int("reset-window", 8<<10, "byte window for reset/stall offsets")
+	stall := fs.Float64("stall", 0, "per-connection mid-stream stall probability")
+	stallDur := fs.Duration("stall-duration", 500*time.Millisecond, "duration of a firing stall")
+	acceptLat := fs.Duration("accept-latency", 0, "max delay between accept and upstream dial")
+	readLat := fs.Duration("read-latency", 0, "max per-chunk client→upstream delay")
+	writeLat := fs.Duration("write-latency", 0, "max per-chunk upstream→client delay")
+	partial := fs.Float64("partial", 0, "per-chunk partial-write probability")
+	bandwidth := fs.Int("bandwidth", 0, "per-direction bytes/sec cap (0 = unlimited)")
+	fs.Parse(os.Args[1:])
+
+	p, err := faults.NewProxy(*listen, *upstream, faults.NetConfig{
+		Seed:          *seed,
+		Site:          *site,
+		Reset:         *reset,
+		ResetWindow:   *resetWindow,
+		Stall:         *stall,
+		StallDuration: *stallDur,
+		AcceptLatency: *acceptLat,
+		ReadLatency:   *readLat,
+		WriteLatency:  *writeLat,
+		PartialWrite:  *partial,
+		Bandwidth:     *bandwidth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "netproxy: %s -> %s (seed=%d site=%s)\n", p.Addr(), *upstream, *seed, *site)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	p.Close()
+	c := p.Counts()
+	fmt.Fprintf(os.Stderr,
+		"netproxy: conns=%d resets=%d stalls=%d partials=%d delays=%d bytes_in=%d bytes_out=%d\n",
+		c.Conns, c.Resets, c.Stalls, c.Partials, c.Delays, c.BytesIn, c.BytesOut)
+}

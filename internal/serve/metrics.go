@@ -45,8 +45,14 @@ type Metrics struct {
 	ReloadFailures atomic.Uint64
 	// EventsIngested counts streamed event rows durably logged and folded
 	// into serving state; EventsRejected counts rows refused at validation.
-	EventsIngested atomic.Uint64
-	EventsRejected atomic.Uint64
+	// EventsQuarantined counts corrupt event-log tail segments moved to
+	// .quarantine sidecars during replay instead of failing the boot.
+	EventsIngested    atomic.Uint64
+	EventsRejected    atomic.Uint64
+	EventsQuarantined atomic.Uint64
+	// PanicsRecovered counts handler panics converted to 500 responses by
+	// the recovery middleware.
+	PanicsRecovered atomic.Uint64
 	// StaleVectors is a gauge: customers currently served from live event
 	// overrides, i.e. vectors ahead of the last full build.
 	StaleVectors atomic.Uint64
@@ -71,27 +77,29 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	mask := m.DegradedMask.Load()
 	return map[string]any{
-		"requests":          m.Requests.Load(),
-		"scored":            m.Scored.Load(),
-		"sync_scored":       m.SyncScored.Load(),
-		"batches":           m.Batches.Load(),
-		"errors":            m.Errors.Load(),
-		"queue_full":        m.QueueFull.Load(),
-		"canceled":          m.Canceled.Load(),
-		"cache_hits":        hits,
-		"cache_misses":      misses,
-		"cache_hit_rate":    hitRate,
-		"retries":           m.Retries.Load(),
-		"retries_exhausted": m.RetriesExhausted.Load(),
-		"degraded_mask":     mask,
-		"degraded_groups":   features.Degradation(mask).String(),
-		"reloads":           m.Reloads.Load(),
-		"reload_failures":   m.ReloadFailures.Load(),
-		"events_ingested":   m.EventsIngested.Load(),
-		"events_rejected":   m.EventsRejected.Load(),
-		"stale_vectors":     m.StaleVectors.Load(),
-		"refreshes":         m.Refreshes.Load(),
-		"refresh_failures":  m.RefreshFailures.Load(),
+		"requests":           m.Requests.Load(),
+		"scored":             m.Scored.Load(),
+		"sync_scored":        m.SyncScored.Load(),
+		"batches":            m.Batches.Load(),
+		"errors":             m.Errors.Load(),
+		"queue_full":         m.QueueFull.Load(),
+		"canceled":           m.Canceled.Load(),
+		"cache_hits":         hits,
+		"cache_misses":       misses,
+		"cache_hit_rate":     hitRate,
+		"retries":            m.Retries.Load(),
+		"retries_exhausted":  m.RetriesExhausted.Load(),
+		"degraded_mask":      mask,
+		"degraded_groups":    features.Degradation(mask).String(),
+		"reloads":            m.Reloads.Load(),
+		"reload_failures":    m.ReloadFailures.Load(),
+		"events_ingested":    m.EventsIngested.Load(),
+		"events_rejected":    m.EventsRejected.Load(),
+		"events_quarantined": m.EventsQuarantined.Load(),
+		"panics_recovered":   m.PanicsRecovered.Load(),
+		"stale_vectors":      m.StaleVectors.Load(),
+		"refreshes":          m.Refreshes.Load(),
+		"refresh_failures":   m.RefreshFailures.Load(),
 		"refresh_age_seconds": func() float64 {
 			ns := m.RefreshUnixNano.Load()
 			if ns == 0 {

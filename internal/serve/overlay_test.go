@@ -95,6 +95,142 @@ func TestOverlaySwap(t *testing.T) {
 	}
 }
 
+// genProvider tags every vector with its generation: {gen, gen} for each
+// id. Any observed vector with vec[0] != vec[1] is a torn mix of bases.
+type genProvider struct {
+	gen float64
+	n   int
+}
+
+func (p *genProvider) Vector(id int64) ([]float64, bool) {
+	if id < 0 || id >= int64(p.n) {
+		return nil, false
+	}
+	return []float64{p.gen, p.gen}, true
+}
+func (p *genProvider) FeatureNames() []string { return []string{"a", "b"} }
+func (p *genProvider) IDs() []int64 {
+	ids := make([]int64, p.n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return ids
+}
+func (p *genProvider) Info() ProviderInfo { return ProviderInfo{Source: "gen", Rows: p.n} }
+func (p *genProvider) Invalidate(int64)   {}
+
+// TestOverlayInvalidateRacesSwap pins churnd's shutdown-free consistency
+// contract under -race: POST /v1/events invalidation (Invalidate +
+// Override) racing a /v1/refresh vector swap (Swap with recompute). Every
+// vector is generation-tagged {g, g}; the recompute derives overrides from
+// the *new* base, so any reader observing vec[0] != vec[1] caught an old
+// base mixed with a new overlay (or vice versa) — exactly the bug the
+// overlay's locking must rule out.
+func TestOverlayInvalidateRacesSwap(t *testing.T) {
+	const n = 32
+	o := NewOverlay(&genProvider{gen: 0, n: n}, &Metrics{})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan string, 1)
+	// ingestMu mirrors churnd's: the fold's Base→Override pair and the
+	// refresh swap serialize against each other; Invalidate and every read
+	// stay fully concurrent.
+	var ingestMu sync.Mutex
+
+	// Refresher: swaps generation g in, recomputing surviving overrides
+	// against the new base (as handleRefresh does when events raced the
+	// rebuild).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for g := 1; g <= 300; g++ {
+			ingestMu.Lock()
+			err := o.Swap(&genProvider{gen: float64(g), n: n}, func(id int64, base []float64) ([]float64, error) {
+				return []float64{base[0], base[1]}, nil
+			})
+			ingestMu.Unlock()
+			if err != nil {
+				select {
+				case fail <- fmt.Sprintf("swap gen %d: %v", g, err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	// Ingester: installs overrides derived from the current base (the fold
+	// path: read Base, recompute, Override) and invalidates others.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := int64(i % n)
+			if i%3 == 0 {
+				o.Invalidate(id)
+				continue
+			}
+			ingestMu.Lock()
+			if base, ok := o.Base(id); ok {
+				o.Override(id, []float64{base[0], base[1]})
+			}
+			ingestMu.Unlock()
+		}
+	}()
+
+	// Readers: every observed vector must be internally consistent.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int64((seed + i) % n)
+				vec, ok := o.Vector(id)
+				if !ok {
+					select {
+					case fail <- fmt.Sprintf("id %d fell out of the universe", id):
+					default:
+					}
+					return
+				}
+				if vec[0] != vec[1] {
+					select {
+					case fail <- fmt.Sprintf("torn vector for %d: %v mixes generations", id, vec):
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	// Settled state: every id serves the final generation, overrides
+	// included (they were recomputed from it or invalidated).
+	for id := int64(0); id < n; id++ {
+		vec, ok := o.Vector(id)
+		if !ok || vec[0] != 300 || vec[1] != 300 {
+			t.Fatalf("settled vector for %d = %v %v, want [300 300]", id, vec, ok)
+		}
+	}
+}
+
 // TestOverlayConcurrentIngestWhileScoring races the write side (Override,
 // Invalidate, Swap — churnd's ingest and refresh paths) against scoring
 // readers, under -race. Scores must stay well-formed throughout: every

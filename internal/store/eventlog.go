@@ -69,6 +69,50 @@ type EventLog struct {
 
 	mu   sync.Mutex
 	last uint64
+
+	// qmu guards the quarantine records (separate from mu so a Replay
+	// running inside MergeInto — which holds mu — can still quarantine).
+	qmu         sync.Mutex
+	quarantined []QuarantineRecord
+}
+
+// QuarantineRecord describes one corrupt tail segment that Replay set
+// aside instead of failing the boot.
+type QuarantineRecord struct {
+	// Seq is the sequence number the quarantined file carried.
+	Seq uint64
+	// Path is the .quarantine sidecar the segment was renamed to.
+	Path string
+	// Err is the corruption that condemned it.
+	Err string
+}
+
+// Quarantines returns every segment this log has quarantined since it was
+// opened, in quarantine order. Callers surface these as metrics/log lines;
+// the records persist only as the on-disk .quarantine sidecars.
+func (l *EventLog) Quarantines() []QuarantineRecord {
+	l.qmu.Lock()
+	defer l.qmu.Unlock()
+	out := make([]QuarantineRecord, len(l.quarantined))
+	copy(out, l.quarantined)
+	return out
+}
+
+// quarantine moves a corrupt tail segment to its .quarantine sidecar. The
+// sidecar keeps the bytes for postmortem inspection but no longer matches
+// the seq=*.tev pattern, so segments(), Replay and Truncate never see it
+// again; the in-memory sequence counter is NOT rewound, so the next Append
+// cannot reuse the condemned number.
+func (l *EventLog) quarantine(seq uint64, cause error) error {
+	src := filepath.Join(l.dir, segName(seq))
+	dst := src + ".quarantine"
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("store: quarantine segment %d: %w", seq, err)
+	}
+	l.qmu.Lock()
+	l.quarantined = append(l.quarantined, QuarantineRecord{Seq: seq, Path: dst, Err: cause.Error()})
+	l.qmu.Unlock()
+	return nil
 }
 
 // EventLog opens (creating if needed) the warehouse's event log.
@@ -167,7 +211,7 @@ func (l *EventLog) Append(batch map[string]*table.Table) (uint64, error) {
 		}
 		return 0, err
 	}
-	if err := atomicWriteFile(l.dir, dst, write); err != nil {
+	if err := l.w.atomicWriteFile(l.dir, dst, write); err != nil {
 		return 0, err
 	}
 	l.last = seq
@@ -243,12 +287,20 @@ func (l *EventLog) readSegment(seq uint64) ([]string, []*table.Table, error) {
 // Replay streams every committed segment with sequence > after, ascending,
 // invoking fn once per (segment, table) pair in the segment's stored order.
 // Each segment read runs the OpReplayEvents hook, like a partition read.
+//
+// A corrupt TAIL segment — torn bytes or a CRC mismatch in the
+// newest-numbered file, the only place a crashed append could leave one —
+// is quarantined: renamed to a .quarantine sidecar and recorded (see
+// Quarantines), and the replay succeeds with every earlier segment
+// applied. Corruption anywhere before the tail means later events already
+// depend on lost ones; that stays a hard error, as does any
+// non-corruption read failure.
 func (l *EventLog) Replay(after uint64, fn func(seq uint64, name string, t *table.Table) error) error {
 	segs, err := l.segments()
 	if err != nil {
 		return err
 	}
-	for _, seq := range segs {
+	for i, seq := range segs {
 		if seq <= after {
 			continue
 		}
@@ -257,6 +309,9 @@ func (l *EventLog) Replay(after uint64, fn func(seq uint64, name string, t *tabl
 		}
 		names, tables, err := l.readSegment(seq)
 		if err != nil {
+			if errors.Is(err, ErrCorrupt) && i == len(segs)-1 {
+				return l.quarantine(seq, err)
+			}
 			return fmt.Errorf("store: replay segment %d: %w", seq, err)
 		}
 		for i, name := range names {
@@ -267,6 +322,11 @@ func (l *EventLog) Replay(after uint64, fn func(seq uint64, name string, t *tabl
 	}
 	return nil
 }
+
+// Sync flushes any warehouse commits the durability policy is still
+// holding (a no-op outside interval mode). A draining daemon calls it so
+// its final appended segments survive power loss.
+func (l *EventLog) Sync() error { return l.w.SyncNow() }
 
 // Truncate deletes every segment with sequence <= through. In-memory
 // numbering continues from the highest sequence ever issued, so replays

@@ -327,7 +327,7 @@ func (sw *ShardedWarehouse) WritePartition(name string, month int, t *table.Tabl
 			}
 			return err
 		}
-		if err := atomicWrite(dir, dst, part); err != nil {
+		if err := sw.w.atomicWrite(dir, dst, part); err != nil {
 			return err
 		}
 	}

@@ -61,7 +61,7 @@ func (w *Warehouse) StageDay(name string, month, day int, t *table.Table) error 
 		}
 		return err
 	}
-	return atomicWrite(w.stagingDir(name, month), w.stagedDayPath(name, month, day), t)
+	return w.atomicWrite(w.stagingDir(name, month), w.stagedDayPath(name, month, day), t)
 }
 
 // StagedDays lists the staged days of a month, ascending.

@@ -104,6 +104,8 @@ func (c *Crash) Error() string {
 type Warehouse struct {
 	root string
 	hook Hook
+	sync SyncPolicy
+	pend syncState
 }
 
 // SetHook installs a fault-injection hook on every partition and staging
@@ -153,7 +155,7 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 		}
 		return err
 	}
-	if err := atomicWrite(filepath.Join(w.root, name), w.partitionPath(name, month), t); err != nil {
+	if err := w.atomicWrite(filepath.Join(w.root, name), w.partitionPath(name, month), t); err != nil {
 		return err
 	}
 	// The plain file now wins every read; drop shard sets it supersedes.
@@ -163,16 +165,19 @@ func (w *Warehouse) WritePartition(name string, month int, t *table.Table) error
 
 // atomicWrite is the warehouse commit protocol for tables: write a temp
 // file in the destination directory, then rename over the target.
-func atomicWrite(dir, dst string, t *table.Table) error {
-	return atomicWriteFile(dir, dst, func(f *os.File) error { return writeTable(f, t) })
+func (w *Warehouse) atomicWrite(dir, dst string, t *table.Table) error {
+	return w.atomicWriteFile(dir, dst, func(f *os.File) error { return writeTable(f, t) })
 }
 
 // atomicWriteFile is the generic commit protocol: write a temp file in the
 // destination directory via the callback, then rename over the target. A
 // reader can therefore only ever observe the complete old file, the
 // complete new file, or no file — never a torn mix (rename within one
-// directory is atomic on POSIX filesystems).
-func atomicWriteFile(dir, dst string, write func(*os.File) error) error {
+// directory is atomic on POSIX filesystems). The warehouse SyncPolicy
+// decides whether the commit also survives power loss: in always mode the
+// temp file is fsynced before the rename and the directory after it; in
+// interval mode the pair is queued for the next SyncNow flush.
+func (w *Warehouse) atomicWriteFile(dir, dst string, write func(*os.File) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -186,11 +191,22 @@ func atomicWriteFile(dir, dst string, write func(*os.File) error) error {
 		os.Remove(tmpName)
 		return err
 	}
+	if w.sync.Mode == SyncAlways {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return err
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, dst)
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return w.commitSync(dir, dst)
 }
 
 // crashingWrite simulates a process dying at cr.Point during atomicWrite,

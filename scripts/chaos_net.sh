@@ -1,0 +1,227 @@
+#!/usr/bin/env bash
+# Network chaos harness: churnd behind the deterministic seeded TCP fault
+# proxy (cmd/netproxy), driven by churnload. Three sections:
+#
+#   1. Proxied load: a mixed read/write churnload run through a proxy
+#      injecting per-chunk latency, partial writes and mid-stream stalls.
+#      Gates are relaxed versions of the clean loadtest's (faults cost
+#      latency, not correctness): p99 under CHAOS_MAX_P99, non-2xx under
+#      CHAOS_MAX_NON2XX.
+#   2. Schedule determinism: the same request sequence against two proxies
+#      with the same seed must produce the same per-connection reset
+#      pattern — network chaos here is a property test, not a flake source.
+#   3. Kill-and-restart: SIGKILL churnd mid-ingest behind a resetting
+#      proxy, tear the event log's tail frame (the torn write a crash can
+#      leave), restart, and assert the tail is quarantined (sidecar file +
+#      events_quarantined metric) while every surviving event still serves —
+#      served scores must be bit-identical to `churnctl score -full` over
+#      the merged warehouse.
+#
+# Tunables: CHAOS_PORT, CHAOS_PROXY_PORT, CHAOS_SEED, CHAOS_RPS,
+# CHAOS_DURATION, CHAOS_MAX_P99, CHAOS_MAX_NON2XX.
+set -euo pipefail
+
+PORT="${CHAOS_PORT:-18085}"
+PROXY_PORT="${CHAOS_PROXY_PORT:-18086}"
+SEED="${CHAOS_SEED:-7}"
+RPS="${CHAOS_RPS:-150}"
+DURATION="${CHAOS_DURATION:-8s}"
+MAX_P99="${CHAOS_MAX_P99:-2s}"
+MAX_NON2XX="${CHAOS_MAX_NON2XX:-0.02}"
+WORK="$(mktemp -d)"
+CHURND_PID=""
+PROXY_PID=""
+cleanup() {
+    for pid in "$CHURND_PID" "$PROXY_PID"; do
+        if [ -n "$pid" ]; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+wait_ready() {
+    local i=0
+    until curl -sf "http://127.0.0.1:$PORT/readyz" > /dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 50 ] || { echo "chaos-net: churnd never became ready"; exit 1; }
+        kill -0 "$CHURND_PID" 2>/dev/null || { echo "chaos-net: churnd exited early"; exit 1; }
+        sleep 0.2
+    done
+}
+
+stop_churnd() {
+    if [ -n "$CHURND_PID" ]; then
+        kill "$CHURND_PID" 2>/dev/null || true
+        wait "$CHURND_PID" 2>/dev/null || true
+        CHURND_PID=""
+    fi
+}
+
+stop_proxy() {
+    if [ -n "$PROXY_PID" ]; then
+        kill "$PROXY_PID" 2>/dev/null || true
+        wait "$PROXY_PID" 2>/dev/null || true
+        PROXY_PID=""
+    fi
+}
+
+echo "== build =="
+go build -o "$WORK/churnctl" ./cmd/churnctl
+go build -o "$WORK/churnd" ./cmd/churnd
+go build -o "$WORK/churnload" ./cmd/churnload
+go build -o "$WORK/netproxy" ./cmd/netproxy
+
+echo "== generate + train =="
+"$WORK/churnctl" generate -out "$WORK/wh" -customers 400 -months 4
+"$WORK/churnctl" train -warehouse "$WORK/wh" -out "$WORK/model.tcpa" -trees 20
+
+echo "== 1. proxied mixed load (latency/partial/stall faults, relaxed gates) =="
+"$WORK/churnd" -artifact "$WORK/model.tcpa" -warehouse "$WORK/wh" \
+    -addr "127.0.0.1:$PORT" > "$WORK/churnd1.log" 2>&1 &
+CHURND_PID=$!
+wait_ready
+"$WORK/netproxy" -listen "127.0.0.1:$PROXY_PORT" -upstream "127.0.0.1:$PORT" \
+    -seed "$SEED" -site loadtest \
+    -read-latency 5ms -write-latency 5ms -partial 0.2 \
+    -stall 0.1 -stall-duration 200ms 2> "$WORK/proxy1.log" &
+PROXY_PID=$!
+sleep 0.3
+"$WORK/churnload" -addr "127.0.0.1:$PROXY_PORT" -rps "$RPS" -duration "$DURATION" \
+    -conns 8 -ingest-mix 0.2 -name BenchmarkChurnloadChaosNet \
+    -out "$WORK/chaos_load.json" -max-p99 "$MAX_P99" -max-non2xx "$MAX_NON2XX"
+stop_proxy
+grep -Eq "delays=[1-9]" "$WORK/proxy1.log" \
+    || { echo "chaos-net: proxy injected no latency"; cat "$WORK/proxy1.log"; exit 1; }
+grep -Eq "partials=[1-9]" "$WORK/proxy1.log" \
+    || { echo "chaos-net: proxy split no writes"; cat "$WORK/proxy1.log"; exit 1; }
+echo "   proxied load passed gates (p99 <= $MAX_P99, non-2xx <= $MAX_NON2XX) with faults firing"
+
+echo "== 2. fault-schedule determinism (same seed, same reset pattern) =="
+ONE_ID="$(curl -sf "http://127.0.0.1:$PORT/v1/customers?limit=1" \
+    | sed -n 's/.*"ids":\[\([0-9]*\)\].*/\1/p')"
+[ -n "$ONE_ID" ] || { echo "chaos-net: customer discovery failed"; exit 1; }
+# Each curl is one fresh connection, so connection indices line up across
+# runs; -reset-window 256 keeps every condemned connection's byte threshold
+# inside a single small HTTP exchange, so condemned == visibly killed.
+reset_pattern() {
+    local pattern=""
+    for _ in $(seq 1 16); do
+        if curl -sf --max-time 5 -X POST -d "{\"id\":$ONE_ID}" \
+            "http://127.0.0.1:$PROXY_PORT/v1/score" > /dev/null 2>&1; then
+            pattern="${pattern}o"
+        else
+            pattern="${pattern}x"
+        fi
+    done
+    echo "$pattern"
+}
+run_pattern() {
+    "$WORK/netproxy" -listen "127.0.0.1:$PROXY_PORT" -upstream "127.0.0.1:$PORT" \
+        -seed "$SEED" -site determinism -reset 0.45 -reset-window 256 \
+        2> "$WORK/proxy_det.log" &
+    PROXY_PID=$!
+    sleep 0.3
+    reset_pattern
+    stop_proxy
+}
+PAT1="$(run_pattern)"
+PAT2="$(run_pattern)"
+[ "$PAT1" = "$PAT2" ] \
+    || { echo "chaos-net: reset schedule not deterministic: $PAT1 vs $PAT2"; exit 1; }
+case "$PAT1" in
+    *x*) ;;
+    *) echo "chaos-net: no connection was reset (pattern $PAT1)"; exit 1 ;;
+esac
+case "$PAT1" in
+    *o*) ;;
+    *) echo "chaos-net: every connection was reset (pattern $PAT1)"; exit 1 ;;
+esac
+echo "   seed $SEED reproduced reset pattern $PAT1 across two proxies"
+stop_churnd
+
+echo "== 3. kill mid-ingest, tear the tail, restart, quarantine + parity =="
+"$WORK/churnctl" generate -out "$WORK/wh2" -customers 400 -months 4
+"$WORK/churnctl" train -warehouse "$WORK/wh2" -out "$WORK/model2.tcpa" -trees 20
+"$WORK/churnd" -artifact "$WORK/model2.tcpa" -warehouse "$WORK/wh2" \
+    -addr "127.0.0.1:$PORT" -fsync always > "$WORK/churnd2.log" 2>&1 &
+CHURND_PID=$!
+wait_ready
+# Site kill-run under seed 7 condemns the second and fourth accepted
+# connections but spares the first — churnload's /v1/customers discovery
+# rides connection 1, so discovery always succeeds while the workload
+# connections behind it get reset mid-run. The 128-byte window keeps every
+# condemned connection's threshold inside a single HTTP exchange.
+"$WORK/netproxy" -listen "127.0.0.1:$PROXY_PORT" -upstream "127.0.0.1:$PORT" \
+    -seed "$SEED" -site kill-run -reset 0.5 -reset-window 128 -read-latency 2ms \
+    2> "$WORK/proxy3.log" &
+PROXY_PID=$!
+sleep 0.3
+# Heavy write mix so the event log has plenty of committed segments when the
+# SIGKILL lands; no gates — this run exists to be interrupted.
+"$WORK/churnload" -addr "127.0.0.1:$PROXY_PORT" -rps 100 -duration 10s \
+    -conns 8 -ingest-mix 0.5 -out "$WORK/chaos_kill.json" > /dev/null 2>&1 &
+LOAD_PID=$!
+sleep 3
+kill -9 "$CHURND_PID" 2>/dev/null || true
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+wait "$LOAD_PID" 2>/dev/null || true
+stop_proxy
+grep -Eq "resets=[1-9]" "$WORK/proxy3.log" \
+    || { echo "chaos-net: kill-run proxy reset no connections"; cat "$WORK/proxy3.log"; exit 1; }
+
+SEGS="$(ls "$WORK/wh2/.events/" | grep -c 'seq=.*\.tev$' || true)"
+[ "$SEGS" -ge 2 ] || { echo "chaos-net: only $SEGS event segments landed before the kill"; exit 1; }
+TAIL="$(ls "$WORK/wh2/.events/" | grep 'seq=.*\.tev$' | sort | tail -1)"
+# A torn tail frame: the crash got through the payload but not the CRC.
+truncate -s -1 "$WORK/wh2/.events/$TAIL"
+echo "   killed churnd with $SEGS segments logged; tore the tail of $TAIL"
+
+"$WORK/churnd" -artifact "$WORK/model2.tcpa" -warehouse "$WORK/wh2" \
+    -addr "127.0.0.1:$PORT" > "$WORK/churnd3.log" 2>&1 &
+CHURND_PID=$!
+wait_ready
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q '"events_quarantined":1' \
+    || { echo "chaos-net: events_quarantined != 1 after restart"; exit 1; }
+[ -f "$WORK/wh2/.events/$TAIL.quarantine" ] \
+    || { echo "chaos-net: quarantine sidecar missing"; exit 1; }
+[ ! -f "$WORK/wh2/.events/$TAIL" ] \
+    || { echo "chaos-net: torn segment still in the replay path"; exit 1; }
+grep -q "quarantined corrupt event-log tail" "$WORK/churnd3.log" \
+    || { echo "chaos-net: quarantine not logged"; exit 1; }
+
+# Served scores over every customer, paired id,score.
+IDS="$(curl -sf "http://127.0.0.1:$PORT/v1/customers" \
+    | sed -n 's/.*"ids":\[\([0-9,]*\)\].*/\1/p')"
+[ -n "$IDS" ] || { echo "chaos-net: customer discovery failed after restart"; exit 1; }
+curl -sf -X POST -d "{\"ids\":[$IDS]}" "http://127.0.0.1:$PORT/v1/score" > "$WORK/served.json"
+echo "$IDS" | tr ',' '\n' > "$WORK/ids.txt"
+tr -d ' \n' < "$WORK/served.json" \
+    | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' > "$WORK/scores.txt"
+paste -d, "$WORK/ids.txt" "$WORK/scores.txt" | sort -t, -k1,1n > "$WORK/served.csv"
+
+# Graceful stop: the drain sequence must run and log.
+kill "$CHURND_PID"
+wait "$CHURND_PID" 2>/dev/null || true
+CHURND_PID=""
+grep -q "churnd: drained" "$WORK/churnd3.log" \
+    || { echo "chaos-net: drain sequence did not complete"; cat "$WORK/churnd3.log"; exit 1; }
+
+# Merge the surviving log (the quarantined sidecar stays out) and rebuild
+# from scratch: the batch path must print the same bits churnd served.
+"$WORK/churnctl" ingest -warehouse "$WORK/wh2" -merge | grep -q "merged" \
+    || { echo "chaos-net: merge did not fold the surviving events"; exit 1; }
+"$WORK/churnctl" score -warehouse "$WORK/wh2" -model "$WORK/model2.tcpa" -top 0 -full \
+    | tail -n +2 | awk -F, '{print $2","$3}' | sort -t, -k1,1n > "$WORK/batch.csv"
+if ! cmp -s "$WORK/served.csv" "$WORK/batch.csv"; then
+    echo "chaos-net: served scores after quarantined restart differ from the merged rebuild"
+    diff "$WORK/served.csv" "$WORK/batch.csv" | head -10
+    exit 1
+fi
+N="$(wc -l < "$WORK/served.csv")"
+echo "   $N post-restart served scores bit-identical to churnctl score -full after merge"
+
+echo "chaos-net: OK"
